@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+runs the experiment exactly once under pytest-benchmark's timer (the
+wall-clock number measures the harness itself — the *simulated* results
+are attached as ``extra_info`` and printed), then asserts the
+experiment's shape checks, so a calibration regression fails the bench.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.bench.harness import ExperimentReport
+
+
+def run_experiment(benchmark, fn: Callable[[], ExperimentReport],
+                   ) -> ExperimentReport:
+    """Execute one report-producing experiment under the benchmark timer."""
+    report = benchmark.pedantic(fn, rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = report.experiment
+    benchmark.extra_info["checks"] = [str(c) for c in report.checks]
+    for table in report.tables:
+        benchmark.extra_info.setdefault("tables", []).append(table.render())
+    print()
+    print(report.render())
+    report.assert_shape()
+    return report
+
+
+def run_experiments(benchmark, fns: List[Callable[[], ExperimentReport]]):
+    """Run several panels as one benchmark (e.g. a whole figure)."""
+    def all_panels():
+        return [fn() for fn in fns]
+
+    reports = benchmark.pedantic(all_panels, rounds=1, iterations=1)
+    for report in reports:
+        print()
+        print(report.render())
+    for report in reports:
+        report.assert_shape()
+    return reports

@@ -1,0 +1,25 @@
+"""Benchmarks: design-choice ablations (beyond the paper's figures)."""
+
+from repro.bench import ablation
+
+from benchmarks.conftest import run_experiment
+
+
+def test_buffering_levels(benchmark):
+    run_experiment(benchmark, ablation.buffering_report)
+
+
+def test_collector_contention(benchmark):
+    run_experiment(benchmark, ablation.collector_contention_report)
+
+
+def test_affinity_scheduling(benchmark):
+    run_experiment(benchmark, ablation.affinity_report)
+
+
+def test_network_fabrics(benchmark):
+    run_experiment(benchmark, ablation.network_report)
+
+
+def test_per_phase_devices(benchmark):
+    run_experiment(benchmark, ablation.phase_device_report)

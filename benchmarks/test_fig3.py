@@ -1,0 +1,25 @@
+"""Benchmarks: regenerate Figure 3 (compute-bound apps, CPU/GPU/GPMR)."""
+
+from repro.bench import fig3
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig3a_km_cpu(benchmark):
+    run_experiment(benchmark, fig3.km_cpu_report)
+
+
+def test_fig3b_mm_cpu(benchmark):
+    run_experiment(benchmark, fig3.mm_cpu_report)
+
+
+def test_fig3c_km_gpu(benchmark):
+    run_experiment(benchmark, fig3.km_gpu_report)
+
+
+def test_fig3d_mm_gpu(benchmark):
+    run_experiment(benchmark, fig3.mm_gpu_report)
+
+
+def test_fig3e_km_overlap(benchmark):
+    run_experiment(benchmark, fig3.km_overlap_report)

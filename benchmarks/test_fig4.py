@@ -1,0 +1,13 @@
+"""Benchmarks: regenerate Figure 4 (intermediate-data handling)."""
+
+from repro.bench import fig4
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig4a_partitioner_threads(benchmark):
+    run_experiment(benchmark, fig4.partitioning_report)
+
+
+def test_fig4b_merge_delay(benchmark):
+    run_experiment(benchmark, fig4.merge_delay_report)

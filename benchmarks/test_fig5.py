@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 5 (reduce pipeline vs concurrent keys)."""
+
+from repro.bench import fig5
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig5_reduce_concurrent_keys(benchmark):
+    run_experiment(benchmark, fig5.report)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table I (feature matrix, with engine checks)."""
+
+from repro.bench import table1
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table1_feature_matrix(benchmark):
+    run_experiment(benchmark, table1.report)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table II (WC map-pipeline breakdown)."""
+
+from repro.bench import table2
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table2_wc_breakdown(benchmark):
+    run_experiment(benchmark, table2.report)

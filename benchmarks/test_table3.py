@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table III (KM breakdown, CPU vs GTX480)."""
+
+from repro.bench import table3
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table3_km_breakdown(benchmark):
+    run_experiment(benchmark, table3.report)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the §IV-C vertical-scalability device sweep."""
+
+from repro.bench import vertical
+
+from benchmarks.conftest import run_experiment
+
+
+def test_vertical_device_sweep(benchmark):
+    run_experiment(benchmark, vertical.report)

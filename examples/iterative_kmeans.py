@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Iterative K-Means: chaining Glasswing jobs until convergence.
+
+The paper runs a single Lloyd iteration; this example runs the real
+iterative algorithm — each iteration is one MapReduce job whose reduced
+centers seed the next — and prints per-iteration shifts and times.
+
+    python examples/iterative_kmeans.py
+"""
+
+import numpy as np
+
+from repro.apps.drivers import kmeans_iterate
+from repro.core import JobConfig
+from repro.hw.presets import das4_cluster
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    # Three gaussian blobs the algorithm must discover.
+    blobs = [rng.normal(center, 2.0, size=(4_000, 2)).astype(np.float32)
+             for center in ((10.0, 10.0), (60.0, 20.0), (30.0, 70.0))]
+    points = np.vstack(blobs)
+    rng.shuffle(points)
+    initial = rng.uniform(0, 80, size=(3, 2)).astype(np.float32)
+
+    run = kmeans_iterate(
+        {"points": points.tobytes()}, initial,
+        das4_cluster(nodes=4),
+        JobConfig(chunk_size=64 * 1024, storage="local"),
+        max_iterations=15, tolerance=1e-2)
+
+    print(f"converged after {run.iterations} iterations "
+          f"({run.total_time:.3f} simulated seconds total)")
+    for i, (shift, res) in enumerate(zip(run.shifts, run.results)):
+        print(f"  iter {i}: max center shift {shift:8.4f}  "
+              f"job {res.job_time:.4f}s")
+    print("final centers:")
+    for center in sorted(run.centers.tolist()):
+        print(f"  ({center[0]:6.2f}, {center[1]:6.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Tuning the Glasswing pipeline: the Configuration API at work.
+
+Sweeps the knobs the paper's evaluation studies — buffering level, output
+collector, combiner, partitioner threads and partitions per node — on a
+WordCount job and prints what each does to the pipeline, so you can see
+how a job is tuned "to find the best fit" (§III-D).
+
+    python examples/tuning_pipeline.py
+"""
+
+from repro.apps import WordCountApp
+from repro.apps.datagen import wiki_text
+from repro.core import JobConfig, run_glasswing
+from repro.hw.presets import das4_cluster
+
+
+def run(name: str, config: JobConfig, inputs) -> None:
+    res = run_glasswing(WordCountApp(), inputs, das4_cluster(nodes=1),
+                        config)
+    bd = res.metrics.breakdown("map", "node0")
+    print(f"{name:<34} job {res.job_time:7.3f}s | kernel {bd['kernel']:.3f} "
+          f"partition {bd['output']:.3f} merge-delay {res.merge_delay:.3f}")
+
+
+def main() -> None:
+    inputs = {"corpus": wiki_text(8 * 1024 * 1024, seed=23)}
+    base = JobConfig(chunk_size=128 * 1024, storage="local",
+                     cache_threshold=2 * 1024 * 1024)
+
+    print("--- buffering level (§III-D) ---")
+    for level in (1, 2, 3):
+        run(f"buffering={level}", base.with_(buffering=level), inputs)
+
+    print("\n--- output collector (§III-F, Table II) ---")
+    run("hash table + combiner", base, inputs)
+    run("hash table, no combiner", base.with_(use_combiner=False), inputs)
+    run("shared buffer pool", base.with_(collector="buffer",
+                                         use_combiner=False), inputs)
+
+    print("\n--- partitioner threads N (Fig 4a) ---")
+    for n in (1, 4, 16):
+        run(f"partitioner_threads={n}",
+            base.with_(partitioner_threads=n, use_combiner=False), inputs)
+
+    print("\n--- partitions per node P (Fig 4b) ---")
+    for p in (1, 4, 16):
+        run(f"partitions_per_node={p}",
+            base.with_(partitions_per_node=p, use_combiner=False), inputs)
+
+    print("\n--- reduce kernel geometry (Fig 5) ---")
+    for ck, kpt in ((1, 1), (256, 1), (4096, 4)):
+        run(f"concurrent_keys={ck}, keys/thread={kpt}",
+            base.with_(concurrent_keys=ck, keys_per_thread=kpt), inputs)
+
+
+if __name__ == "__main__":
+    main()

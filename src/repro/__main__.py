@@ -1,0 +1,5 @@
+"""``python -m repro`` — the single-job command-line runner."""
+
+from repro.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""The paper's five evaluation applications (§IV).
+
+"To fairly represent the wide spectrum of MapReduce applications we
+implemented and analyzed five applications with diverse properties":
+
+* :mod:`repro.apps.pageview` — Pageview Count (PVC): I/O-bound, sparse
+  keys, massive intermediate data.
+* :mod:`repro.apps.wordcount` — WordCount (WC): I/O-bound, high key
+  repetition (hash-table contention, combiner leverage).
+* :mod:`repro.apps.terasort` — TeraSort (TS): data-intensive, total-order
+  output via a sampled range partitioner, no reduce function.
+* :mod:`repro.apps.kmeans` — K-Means clustering (KM): compute-bound,
+  tiny intermediate data, GPU-friendly.
+* :mod:`repro.apps.matmul` — tiled Matrix Multiply (MM): compute-bound
+  with large data volume.
+
+:mod:`repro.apps.datagen` generates the synthetic counterparts of the
+paper's datasets (wikipedia logs/dumps, TeraGen records, random points and
+matrices) at laptop scale.
+"""
+
+from repro.apps.kmeans import KMeansApp
+from repro.apps.matmul import MatMulApp
+from repro.apps.pageview import PageViewApp
+from repro.apps.terasort import TeraSortApp
+from repro.apps.wordcount import WordCountApp
+
+__all__ = ["KMeansApp", "MatMulApp", "PageViewApp", "TeraSortApp",
+           "WordCountApp"]

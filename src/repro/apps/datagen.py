@@ -1,0 +1,147 @@
+"""Deterministic synthetic dataset generators.
+
+Each generator is the laptop-scale counterpart of one of the paper's
+inputs (see EXPERIMENTS.md for the scale mapping):
+
+* :func:`wiki_text` — the English wikipedia dump used by WordCount:
+  zipf-distributed words, "high repetition of a smaller number of words
+  beside a large number of sparse words".
+* :func:`web_logs` — WikiBench web-server traces used by PVC: "highly
+  sparse in that duplicate URLs are rare ... a massive number of keys".
+* :func:`teragen` — TeraSort's 10-byte random keys with 90-byte values.
+* :func:`kmeans_points` — random single-precision observation vectors.
+* :func:`matmul_tasks` — tiled task records for the matrix multiply.
+
+Everything is seeded and reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "wiki_text",
+    "web_logs",
+    "teragen",
+    "kmeans_points",
+    "kmeans_centers",
+    "matmul_tasks",
+    "TERA_RECORD",
+]
+
+TERA_RECORD = 100  # bytes: 10-byte key + 90-byte value
+
+_CONSONANTS = "bcdfghklmnprstvw"
+_VOWELS = "aeiou"
+
+
+def _vocabulary(size: int, rng: np.random.Generator) -> List[bytes]:
+    """Pronounceable pseudo-words, distinct, 4-12 characters."""
+    words = set()
+    while len(words) < size:
+        syllables = rng.integers(2, 5)
+        word = "".join(
+            _CONSONANTS[rng.integers(len(_CONSONANTS))] +
+            _VOWELS[rng.integers(len(_VOWELS))]
+            for _ in range(syllables))
+        words.add(word.encode())
+    return sorted(words)
+
+
+def wiki_text(nbytes: int, seed: int = 7, vocab_size: int = 20_000,
+              zipf_a: float = 1.5, line_words: int = 12) -> bytes:
+    """Zipf-distributed text, newline-separated lines, ~``nbytes`` long."""
+    rng = np.random.default_rng(seed)
+    vocab = np.array(_vocabulary(vocab_size, rng), dtype=object)
+    rng.shuffle(vocab)  # decouple zipf rank from alphabetical order
+    avg_word = float(np.mean([len(w) for w in vocab])) + 1
+    n_words = max(1, int(nbytes / avg_word))
+    ranks = rng.zipf(zipf_a, size=n_words)
+    ranks = np.minimum(ranks, vocab_size) - 1
+    words = vocab[ranks]
+    lines = []
+    for i in range(0, len(words), line_words):
+        lines.append(b" ".join(words[i:i + line_words]))
+    return b"\n".join(lines) + b"\n"
+
+
+def web_logs(nbytes: int, seed: int = 11, hot_fraction: float = 0.05,
+             hot_urls: int = 500) -> bytes:
+    """Web-server log lines: ``project url count size``.
+
+    URLs are mostly unique (a huge sparse key space) with a small hot set,
+    mirroring the WikiBench traces.
+    """
+    rng = np.random.default_rng(seed)
+    approx_line = 40
+    n_lines = max(1, nbytes // approx_line)
+    hot = rng.random(n_lines) < hot_fraction
+    ids = np.where(
+        hot,
+        rng.integers(0, hot_urls, size=n_lines),
+        rng.integers(hot_urls, hot_urls + 50 * n_lines, size=n_lines))
+    sizes = rng.integers(200, 99_999, size=n_lines)
+    lines = [b"en wiki/page_%d 1 %d" % (u, s)
+             for u, s in zip(ids.tolist(), sizes.tolist())]
+    return b"\n".join(lines) + b"\n"
+
+
+def teragen(n_records: int, seed: int = 13) -> bytes:
+    """``n_records`` TeraSort records: 10 random key bytes + 90 value bytes."""
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(n_records, TERA_RECORD),
+                        dtype=np.uint8)
+    return data.tobytes()
+
+
+def kmeans_points(n_points: int, dims: int, seed: int = 17) -> bytes:
+    """Random observation vectors as packed float32 records."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n_points, dims), dtype=np.float32) * 100.0
+    return pts.tobytes()
+
+
+def kmeans_centers(k: int, dims: int, seed: int = 19) -> np.ndarray:
+    """Initial cluster centers (the paper distributes them to all nodes
+    via Hadoop's DistributedCache; Glasswing ships them in job state)."""
+    rng = np.random.default_rng(seed)
+    return (rng.random((k, dims), dtype=np.float32) * 100.0)
+
+
+def matmul_tasks(matrix_size: int, tile: int, seed: int = 23
+                 ) -> Tuple[bytes, np.ndarray, np.ndarray]:
+    """Task records for C = A @ B with ``tile``-sized sub-matrices.
+
+    Each record is ``(i, j, k, A_ik, B_kj)`` packed as three little-endian
+    int32 headers followed by the two float32 tiles — the input layout a
+    Glasswing MM job reads, one partial-product task per record.  Returns
+    ``(records_blob, A, B)`` so tests can verify against ``A @ B``.
+    """
+    if matrix_size % tile:
+        raise ValueError("matrix_size must be a multiple of tile")
+    rng = np.random.default_rng(seed)
+    a = rng.random((matrix_size, matrix_size), dtype=np.float32)
+    b = rng.random((matrix_size, matrix_size), dtype=np.float32)
+    t = matrix_size // tile
+    parts = []
+    header = np.empty(3, dtype="<i4")
+    for i in range(t):
+        for j in range(t):
+            for k in range(t):
+                header[:] = (i, j, k)
+                parts.append(header.tobytes())
+                parts.append(np.ascontiguousarray(
+                    a[i * tile:(i + 1) * tile, k * tile:(k + 1) * tile]).tobytes())
+                parts.append(np.ascontiguousarray(
+                    b[k * tile:(k + 1) * tile, j * tile:(j + 1) * tile]).tobytes())
+    return b"".join(parts), a, b
+
+
+def matmul_record_size(tile: int) -> int:
+    """Size of one MM task record."""
+    return 12 + 2 * tile * tile * 4
+
+
+__all__.append("matmul_record_size")

@@ -1,0 +1,65 @@
+"""WordCount (WC): word frequency over text (§IV-A.1).
+
+I/O-bound with somewhat more kernel work than PVC; its high key
+repetition makes it the paper's show-case for hash-table contention and
+combiner leverage (Table II) and for partitioner-thread tuning (Fig 4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+from repro.hw.specs import DeviceSpec
+from repro.ocl.kernel import KernelCost
+from repro.storage.records import KVSchema, TextRecordFormat
+
+from repro.core.api import MapReduceApp
+
+__all__ = ["WordCountApp"]
+
+#: effective device ops per input byte (tokenising + hashing)
+_OPS_PER_BYTE = 110.0
+#: device ops per reduced value
+_OPS_PER_VALUE = 12.0
+
+
+class WordCountApp(MapReduceApp):
+    """Count word occurrences; keys are raw word bytes."""
+
+    name = "wordcount"
+    record_format = TextRecordFormat()
+    inter_schema = KVSchema("wc-inter", key_bytes=lambda k: len(k),
+                            value_bytes=lambda v: 4)
+    output_schema = KVSchema("wc-out", key_bytes=lambda k: len(k),
+                             value_bytes=lambda v: 8)
+    has_combiner = True
+
+    def map_batch(self, records: Sequence[bytes]) -> List[Tuple[bytes, int]]:
+        # One C-level split over the whole chunk: records are
+        # newline-delimited, so joining on a separator preserves words.
+        words = b"\n".join(records).split()
+        return [(word, 1) for word in words]
+
+    def combine(self, key: bytes, values: List[int]) -> List[int]:
+        return [sum(values)]
+
+    def run_combine(self, pairs):  # fast path: everything is (word, count)
+        counts = Counter()
+        for word, n in pairs:
+            counts[word] += n
+        return list(counts.items())
+
+    def reduce(self, key: bytes, values: List[int]) -> List[Tuple[bytes, int]]:
+        return [(key, sum(values))]
+
+    def map_cost(self, device: DeviceSpec, n_records: int,
+                 in_bytes: int) -> KernelCost:
+        return KernelCost(flops=_OPS_PER_BYTE * in_bytes,
+                          device_bytes=2.0 * in_bytes)
+
+    def reduce_cost(self, device: DeviceSpec, n_keys: int,
+                    n_values: int) -> KernelCost:
+        return KernelCost(flops=_OPS_PER_VALUE * n_values + 20.0 * n_keys,
+                          device_bytes=24.0 * (n_keys + n_values),
+                          launches=0)

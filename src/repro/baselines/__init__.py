@@ -1,0 +1,16 @@
+"""Comparison systems: sequential reference, Hadoop-like and GPMR-like.
+
+* :mod:`repro.baselines.reference` — a direct, single-process executor
+  defining the *semantics* every engine must match (the paper verified
+  Glasswing's and Hadoop's outputs "to be identical and correct").
+* :mod:`repro.baselines.hadoop` — coarse-grained Hadoop 1.x-style engine:
+  JVM task startup, sequential per-split map tasks, sort/spill/merge,
+  pull-based shuffle with slow-start, map/reduce slots.
+* :mod:`repro.baselines.gpmr` — GPU-only engine that reads all input
+  before computing (no I/O-compute overlap) and keeps intermediate data
+  in host memory.
+"""
+
+from repro.baselines.reference import run_reference
+
+__all__ = ["run_reference"]

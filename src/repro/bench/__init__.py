@@ -1,0 +1,26 @@
+"""Experiment harness: regenerates every table and figure of §IV.
+
+One module per experiment:
+
+* :mod:`repro.bench.table1` — the related-work feature matrix.
+* :mod:`repro.bench.fig2`   — I/O-bound horizontal scaling (PVC/WC/TS).
+* :mod:`repro.bench.fig3`   — compute-bound apps (KM/MM) on CPU and GPU,
+  vs Hadoop and GPMR, HDFS vs local FS.
+* :mod:`repro.bench.table2` — WC map-pipeline breakdown (collector and
+  buffering configurations).
+* :mod:`repro.bench.table3` — KM map-pipeline breakdown, CPU vs GTX480.
+* :mod:`repro.bench.fig4`   — intermediate-data handling (N and P sweeps).
+* :mod:`repro.bench.fig5`   — reduce-pipeline concurrent-keys sweep.
+* :mod:`repro.bench.vertical` — §IV-C device comparison (K20m, GTX680,
+  Xeon Phi).
+* :mod:`repro.bench.ablation` — design-choice ablations beyond the paper.
+
+Run any of them from the command line::
+
+    python -m repro.bench fig2
+    python -m repro.bench all
+"""
+
+from repro.bench.harness import ExperimentReport, ShapeCheck, Table
+
+__all__ = ["ExperimentReport", "ShapeCheck", "Table"]

@@ -1,0 +1,97 @@
+"""Command-line entry point: ``python -m repro.bench <experiment>``.
+
+Experiments: table1, fig2, fig3, table2, table3, fig4, fig5, vertical,
+ablation, or ``all``.  Use ``--quick`` for truncated node sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _reports(name: str, quick: bool):
+    if name == "table1":
+        from repro.bench import table1
+        return [table1.report()]
+    if name == "fig2":
+        from repro.bench import fig2
+        if quick:
+            return [fig2.pvc_report((1, 4, 16)), fig2.wc_report((1, 4, 16)),
+                    fig2.ts_report((4, 16))]
+        return fig2.run_all()
+    if name == "fig3":
+        from repro.bench import fig3
+        if quick:
+            return [fig3.km_cpu_report((1, 4)), fig3.mm_cpu_report((1, 4)),
+                    fig3.km_gpu_report((1, 4)), fig3.mm_gpu_report((1, 4)),
+                    fig3.km_overlap_report((1, 4))]
+        return fig3.run_all()
+    if name == "table2":
+        from repro.bench import table2
+        return [table2.report()]
+    if name == "table3":
+        from repro.bench import table3
+        return [table3.report()]
+    if name == "fig4":
+        from repro.bench import fig4
+        return fig4.run_all()
+    if name == "fig5":
+        from repro.bench import fig5
+        return [fig5.report()]
+    if name == "vertical":
+        from repro.bench import vertical
+        return [vertical.report()]
+    if name == "ablation":
+        from repro.bench import ablation
+        return ablation.run_all()
+    raise SystemExit(f"unknown experiment {name!r}")
+
+
+ALL = ("table1", "fig2", "fig3", "table2", "table3", "fig4", "fig5",
+       "vertical", "ablation")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment", choices=ALL + ("all",))
+    parser.add_argument("--quick", action="store_true",
+                        help="truncated sweeps for a fast smoke run")
+    parser.add_argument("--output", metavar="DIR", default=None,
+                        help="also write each experiment's report to "
+                             "DIR/<experiment>.md")
+    args = parser.parse_args(argv)
+
+    out_dir = None
+    if args.output:
+        import pathlib
+        out_dir = pathlib.Path(args.output)
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    names = ALL if args.experiment == "all" else (args.experiment,)
+    failures = 0
+    for name in names:
+        start = time.time()
+        rendered = []
+        for report in _reports(name, args.quick):
+            text = report.render()
+            print(text)
+            print(f"({time.time() - start:.1f}s)\n")
+            rendered.append(text)
+            if not report.all_passed:
+                failures += 1
+        if out_dir is not None:
+            (out_dir / f"{name}.md").write_text(
+                f"# {name}\n\n```\n" + "\n\n".join(rendered) + "\n```\n")
+    if failures:
+        print(f"{failures} experiment(s) had failing shape checks",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

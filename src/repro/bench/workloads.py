@@ -1,0 +1,112 @@
+"""Scaled standard workloads for the experiment suite.
+
+Scale mapping (paper dataset -> reproduction dataset, ~1/1000 with fixed
+per-operation costs scaled alongside; see EXPERIMENTS.md):
+
+=====  ==============================  ===============================
+exp    paper                            reproduction
+=====  ==============================  ===============================
+PVC    30 GB WikiBench traces           24 MB synthetic web logs
+WC     70 GB English wikipedia dump     24 MB zipf wiki text
+TS     1 TB TeraGen (10^10 records)     24 MB (240k records)
+KM     4096 centers, ~10^7 points       4096 centers, 100k points
+KM-16  16 centers (unmodified GPMR)     16 centers, same points
+MM     37376^2 matrices, tiled          2048^2 matrices, 512^2 tiles
+=====  ==============================  ===============================
+
+Generation is cached per process so repeated benches reuse the bytes.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.apps import datagen
+from repro.hw.specs import MiB
+
+__all__ = [
+    "pvc_input",
+    "wc_input",
+    "ts_input",
+    "km_points",
+    "km_centers",
+    "mm_input",
+    "PVC_BYTES",
+    "WC_BYTES",
+    "TS_RECORDS",
+    "KM_POINTS",
+    "KM_DIMS",
+    "KM_CENTERS_PAPER",
+    "MM_SIZE",
+    "MM_TILE",
+]
+
+PVC_BYTES = 24 * MiB
+WC_BYTES = 24 * MiB
+TS_RECORDS = 240_000
+KM_POINTS = 400_000
+KM_DIMS = 4
+#: the paper's center count, reproduced as (real centers) x (cost scale)
+#: so the real numpy work stays laptop-sized while the modeled kernel
+#: cost matches the 4096-center operating point
+KM_CENTERS_PAPER = 4096
+KM_CENTERS_REAL = 256
+KM_COST_SCALE = KM_CENTERS_PAPER / KM_CENTERS_REAL
+MM_SIZE = 1536
+MM_TILE = 512
+#: the paper's 37376^2 matrices use larger tiles than we can multiply for
+#: real in reasonable time; the cost scale charges a (1.5x tile)^3 kernel
+#: over real 512^2 tiles (flops ~ t^3 but bytes ~ t^2)
+MM_COST_SCALE = 1.5 ** 3
+
+
+@functools.lru_cache(maxsize=4)
+def pvc_input(nbytes: int = PVC_BYTES) -> Dict[str, bytes]:
+    return {"weblogs": datagen.web_logs(nbytes, seed=101)}
+
+
+@functools.lru_cache(maxsize=4)
+def wc_input(nbytes: int = WC_BYTES) -> Dict[str, bytes]:
+    return {"wiki": datagen.wiki_text(nbytes, seed=102)}
+
+
+@functools.lru_cache(maxsize=4)
+def ts_input(n_records: int = TS_RECORDS) -> Dict[str, bytes]:
+    return {"teragen": datagen.teragen(n_records, seed=103)}
+
+
+@functools.lru_cache(maxsize=4)
+def km_points(n_points: int = KM_POINTS,
+              dims: int = KM_DIMS) -> Dict[str, bytes]:
+    return {"points": datagen.kmeans_points(n_points, dims, seed=104)}
+
+
+@functools.lru_cache(maxsize=8)
+def km_centers(k: int = KM_CENTERS_PAPER, dims: int = KM_DIMS) -> np.ndarray:
+    return datagen.kmeans_centers(k, dims, seed=105)
+
+
+@functools.lru_cache(maxsize=2)
+def mm_input(matrix_size: int = MM_SIZE, tile: int = MM_TILE
+             ) -> Tuple[Dict[str, bytes], np.ndarray, np.ndarray]:
+    blob, a, b = datagen.matmul_tasks(matrix_size, tile, seed=106)
+    return {"tasks": blob}, a, b
+
+
+def km_app_paper():
+    """KMeansApp at the paper's 4096-center cost operating point."""
+    from repro.apps import KMeansApp
+    return KMeansApp(km_centers(KM_CENTERS_REAL), cost_scale=KM_COST_SCALE)
+
+
+def mm_app_paper():
+    """MatMulApp at the paper-scale arithmetic intensity."""
+    from repro.apps import MatMulApp
+    return MatMulApp(MM_TILE, cost_scale=MM_COST_SCALE)
+
+
+__all__ += ["km_app_paper", "mm_app_paper", "KM_CENTERS_REAL",
+            "KM_COST_SCALE", "MM_COST_SCALE"]

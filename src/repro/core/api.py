@@ -1,0 +1,168 @@
+"""Application-facing API: map/combine/reduce logic plus cost models.
+
+An application subclasses :class:`MapReduceApp` and provides
+
+* the *real* data transformations (``map_batch``, ``reduce``, optionally
+  ``combine``) — all engines (Glasswing, the Hadoop baseline, the GPMR
+  baseline and the sequential reference) execute exactly these, which is
+  how output equivalence across engines is guaranteed;
+* analytic *cost models* (``map_cost``, ``reduce_cost``) describing what
+  one batch costs on a given device — the OpenCL-kernel side of the app.
+
+This mirrors Glasswing's split between host configuration code and OpenCL
+compute kernels: the map/reduce bodies here stand in for the `.cl` sources
+a real Glasswing application ships.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.hw.specs import DeviceSpec
+from repro.ocl.kernel import KernelCost
+from repro.storage.records import KVSchema, TextRecordFormat
+
+__all__ = ["MapReduceApp", "RecordMapReduceApp", "Emitter", "stable_hash"]
+
+Pair = Tuple[Any, Any]
+
+
+def stable_hash(key: Any) -> int:
+    """Deterministic (cross-run) hash used for partitioning.
+
+    Python's builtin ``hash`` is salted per process for strings; MapReduce
+    partitioning must be stable so that repeated runs and different
+    engines place keys identically.
+    """
+    if isinstance(key, bytes):
+        data = key
+    elif isinstance(key, str):
+        data = key.encode("utf-8")
+    else:
+        data = repr(key).encode("utf-8")
+    return zlib.crc32(data)
+
+
+class MapReduceApp:
+    """Base class for the five paper applications (and user apps).
+
+    Subclasses must set :attr:`name`, :attr:`inter_schema`,
+    :attr:`output_schema` and implement :meth:`map_batch`,
+    :meth:`reduce` and the two cost methods.
+    """
+
+    #: application identifier (used in traces and result files)
+    name: str = "app"
+    #: how input bytes split into records
+    record_format = TextRecordFormat()
+    #: serialized sizes of intermediate pairs
+    inter_schema: KVSchema
+    #: serialized sizes of final output pairs
+    output_schema: KVSchema
+    #: True when the app provides :meth:`combine`
+    has_combiner: bool = False
+    #: True when the job has no reduce logic (TeraSort): the framework
+    #: writes the merged, sorted intermediate stream directly.
+    map_only_output: bool = False
+
+    # -- real data transformations ----------------------------------------
+    def map_batch(self, records: Sequence[bytes]) -> List[Pair]:
+        """Map one input chunk's records to intermediate pairs."""
+        raise NotImplementedError
+
+    def combine(self, key: Any, values: List[Any]) -> List[Any]:
+        """Local reduction over one key's values within a map chunk.
+
+        Only called when :attr:`has_combiner` and the job enables the
+        combiner.  Must be associative/commutative with :meth:`reduce`.
+        """
+        raise NotImplementedError
+
+    def reduce(self, key: Any, values: List[Any]) -> List[Pair]:
+        """Reduce one key's full value list to output pairs."""
+        raise NotImplementedError
+
+    # -- partitioning / ordering --------------------------------------------
+    def partition(self, key: Any, n_partitions: int) -> int:
+        """Partition index for ``key`` (hash by default; TeraSort overrides
+        with a sampled range partitioner to obtain total order)."""
+        return stable_hash(key) % n_partitions
+
+    def sort_key(self, key: Any):
+        """Sorting key for intermediate ordering (identity by default)."""
+        return key
+
+    # -- cost models (the OpenCL kernel side) ----------------------------------
+    def map_cost(self, device: DeviceSpec, n_records: int,
+                 in_bytes: int) -> KernelCost:
+        """Device cost of mapping one chunk of ``n_records`` records."""
+        raise NotImplementedError
+
+    def combine_cost(self, device: DeviceSpec, n_pairs: int) -> KernelCost:
+        """Device cost of combining ``n_pairs`` intermediate pairs."""
+        return KernelCost(flops=4.0 * n_pairs, launches=0)
+
+    def reduce_cost(self, device: DeviceSpec, n_keys: int,
+                    n_values: int) -> KernelCost:
+        """Device cost of reducing ``n_keys`` keys with ``n_values`` total
+        values (excluding launch overhead, which the pipeline adds from
+        its concurrent-keys configuration)."""
+        raise NotImplementedError
+
+    # -- workload-division hints -------------------------------------------------
+    def preferred_threads(self, device: DeviceSpec) -> Optional[int]:
+        """Optional per-device thread-count override (Glasswing's
+        predominant tuning variable, §1 of the paper)."""
+        return None
+
+    # -- helpers ----------------------------------------------------------------
+    def run_combine(self, pairs: Iterable[Pair]) -> List[Pair]:
+        """Group ``pairs`` by key and apply :meth:`combine` per key."""
+        grouped: Dict[Any, List[Any]] = {}
+        for k, v in pairs:
+            grouped.setdefault(k, []).append(v)
+        out: List[Pair] = []
+        for k, vs in grouped.items():
+            for v in self.combine(k, vs):
+                out.append((k, v))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MapReduceApp {self.name!r}>"
+
+
+class Emitter:
+    """Collects ``emit(key, value)`` calls from per-record map functions."""
+
+    __slots__ = ("pairs",)
+
+    def __init__(self) -> None:
+        self.pairs: List[Pair] = []
+
+    def __call__(self, key: Any, value: Any) -> None:
+        self.pairs.append((key, value))
+
+    def emit(self, key: Any, value: Any) -> None:
+        self.pairs.append((key, value))
+
+
+class RecordMapReduceApp(MapReduceApp):
+    """Per-record, emit-style variant of the kernel API (§III-F).
+
+    The paper's OpenCL API "strictly follows the MapReduce model: the
+    user functions consume input and emit output in the form of key/value
+    pairs".  Subclasses implement :meth:`map_record` (one record, one
+    emitter) instead of :meth:`map_batch`; the base class handles the
+    chunk-wise invocation the pipeline performs.
+    """
+
+    def map_record(self, record: bytes, emit: Emitter) -> None:
+        """Process one input record; call ``emit(key, value)`` freely."""
+        raise NotImplementedError
+
+    def map_batch(self, records: Sequence[bytes]) -> List[Pair]:
+        emitter = Emitter()
+        for record in records:
+            self.map_record(record, emitter)
+        return emitter.pairs

@@ -1,0 +1,113 @@
+"""Map-output collection mechanisms (§III-F of the paper).
+
+Glasswing offers two ways for map kernels to emit key/value pairs:
+
+* **shared buffer pool** — each emit allocates space with a single atomic
+  operation.  The kernel is fast (low contention), but the partitioning
+  stage must decode *every pair individually*, which for high-volume
+  workloads (WordCount) makes partitioning the dominant pipeline stage —
+  Table II configuration (iii).
+* **hash table** — pairs are aggregated per key inside device memory.
+  Threads contend on buckets (the kernel slows down with key repetition,
+  more on devices with expensive atomics), but the partitioner touches one
+  entry per *unique key* and the combiner can shrink the data before it
+  ever leaves the device — configurations (i) and (ii).  Without a
+  combiner, a *compaction kernel* runs after map() to place values of the
+  same key contiguously (the paper's explanation for config (ii)'s higher
+  kernel time).
+
+The collector transforms the map kernel's raw emits into a
+:class:`~repro.core.data.MapOutput` plus an extra :class:`KernelCost`
+charged to the kernel stage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.hw.specs import DeviceSpec
+from repro.ocl.kernel import KernelCost
+from repro.core.api import MapReduceApp
+from repro.core.data import MapOutput
+
+__all__ = ["collect_map_output", "hash_contention", "COLLECTORS"]
+
+Pair = Tuple[Any, Any]
+
+#: emitting one pair costs a handful of device ops regardless of collector
+_EMIT_FLOPS = 8.0
+#: extra probe/insert work per pair for the hash table
+_HASH_FLOPS = 24.0
+
+
+def hash_contention(n_pairs: int, n_unique: int) -> float:
+    """Atomic-contention intensity in [0, 1] from key repetition.
+
+    WordCount-like workloads repeat a small set of hot keys, so threads
+    loop on bucket atomics; PVC-like sparse key spaces barely contend.
+    """
+    if n_pairs == 0:
+        return 0.0
+    repetition = 1.0 - (n_unique / n_pairs)
+    return max(0.0, min(1.0, repetition))
+
+
+def _buffer_collect(app: MapReduceApp, device: DeviceSpec, pairs: List[Pair],
+                    use_combiner: bool, chunk_index: int) -> Tuple[MapOutput, KernelCost]:
+    raw = app.inter_schema.size_of(pairs)
+    extra = KernelCost(
+        flops=_EMIT_FLOPS * len(pairs),
+        device_bytes=float(raw),
+        atomic_intensity=0.05,   # one uncontended atomic per allocation
+        launches=0,
+    )
+    out = MapOutput(chunk_index=chunk_index, pairs=pairs, raw_bytes=raw,
+                    decode_items=len(pairs))
+    return out, extra
+
+
+def _hash_collect(app: MapReduceApp, device: DeviceSpec, pairs: List[Pair],
+                  use_combiner: bool, chunk_index: int) -> Tuple[MapOutput, KernelCost]:
+    n_unique = len({k for k, _ in pairs})
+    contention = hash_contention(len(pairs), n_unique)
+    raw_in = app.inter_schema.size_of(pairs)
+    extra = KernelCost(
+        flops=(_EMIT_FLOPS + _HASH_FLOPS) * len(pairs),
+        device_bytes=float(raw_in),
+        atomic_intensity=contention,
+        launches=0,
+    )
+    if use_combiner:
+        out_pairs = app.run_combine(pairs)
+        extra = extra + app.combine_cost(device, len(pairs))
+    else:
+        # Compaction kernel: gather each key's values contiguously so the
+        # partitioner need not walk the whole hash-table memory space.
+        out_pairs = sorted(pairs, key=lambda kv: app.sort_key(kv[0]))
+        raw_out = app.inter_schema.size_of(out_pairs)
+        extra = extra + KernelCost(flops=2.0 * len(pairs),
+                                   device_bytes=2.0 * raw_out,
+                                   launches=1)
+    raw = app.inter_schema.size_of(out_pairs)
+    out = MapOutput(chunk_index=chunk_index, pairs=out_pairs, raw_bytes=raw,
+                    decode_items=n_unique)
+    return out, extra
+
+
+COLLECTORS = {
+    "buffer": _buffer_collect,
+    "hash": _hash_collect,
+}
+
+
+def collect_map_output(collector: str, app: MapReduceApp, device: DeviceSpec,
+                       pairs: List[Pair], use_combiner: bool,
+                       chunk_index: int) -> Tuple[MapOutput, KernelCost]:
+    """Run the configured collector over one kernel launch's emits."""
+    try:
+        fn = COLLECTORS[collector]
+    except KeyError:
+        raise ValueError(f"unknown collector {collector!r}") from None
+    if use_combiner and collector != "hash":
+        raise ValueError("the combiner requires the hash-table collector")
+    return fn(app, device, pairs, use_combiner, chunk_index)

@@ -1,0 +1,107 @@
+"""The Configuration API: everything a Glasswing job can tune.
+
+The paper's §III-F: "The Configuration API allows developers to specify
+key job parameters ... input files ... which compute devices are to be
+used and configure the pipeline buffering levels."  The knobs exercised by
+the evaluation are all here:
+
+* ``buffering`` — single/double/triple pipeline buffering (§III-D).
+* ``collector`` / ``use_combiner`` — hash-table vs shared-buffer-pool map
+  output collection, with optional combiner (§III-F, Tables II/III).
+* ``partitioner_threads`` (N) and ``partitions_per_node`` (P) — the
+  fine-grained intermediate-data parallelism of Figure 4.
+* ``concurrent_keys`` / ``keys_per_thread`` — reduce kernel geometry
+  (§III-C, Figure 5).
+* ``device`` — which compute device runs the kernels (CPU/GPU/MIC).
+* ``storage`` — DFS (HDFS-like) or node-local files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.hw.specs import DeviceKind, MiB
+from repro.storage.records import CompressionModel
+
+__all__ = ["JobConfig"]
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    """Immutable job configuration (paper defaults unless noted)."""
+
+    # -- devices & pipeline -------------------------------------------------
+    device: DeviceKind = DeviceKind.CPU
+    #: per-phase overrides — "map and reduce tasks can be executed on
+    #: CPUs or GPUs" (§II): an I/O-heavy reduce can stay on the CPU while
+    #: the compute-heavy map runs on the GPU
+    map_device: Optional[DeviceKind] = None
+    reduce_device: Optional[DeviceKind] = None
+    buffering: int = 2                  # 1 = single, 2 = double, 3 = triple
+    chunk_size: int = 16 * MiB          # input split processed per kernel
+    kernel_threads: Optional[int] = None  # CPU-device thread override
+
+    # -- map output collection ------------------------------------------------
+    collector: str = "hash"             # "hash" | "buffer"
+    use_combiner: bool = True
+
+    # -- intermediate data -----------------------------------------------------
+    partitions_per_node: int = 8        # P
+    partitioner_threads: int = 8        # N
+    merger_threads: Optional[int] = None  # defaults to P
+    cache_threshold: int = 64 * MiB     # flush when cache exceeds this
+    max_intermediate_files: int = 4     # per partition, kept by merging
+    compression: CompressionModel = field(default_factory=CompressionModel)
+
+    # -- reduce pipeline -----------------------------------------------------
+    concurrent_keys: int = 4096         # keys processed per reduce launch
+    keys_per_thread: int = 4            # sequential keys per kernel thread
+    reduce_threads_per_key: int = 1     # parallel reduction within a key
+    max_values_per_launch: int = 1 << 20  # beyond this, scratch-buffer relaunch
+
+    # -- storage ------------------------------------------------------------
+    storage: str = "dfs"                # "dfs" | "local"
+    output_replication: int = 3
+    input_replication: int = 3
+
+    def __post_init__(self) -> None:
+        if self.buffering not in (1, 2, 3):
+            raise ValueError("buffering level must be 1, 2 or 3")
+        if self.collector not in ("hash", "buffer"):
+            raise ValueError(f"unknown collector {self.collector!r}")
+        if self.storage not in ("dfs", "local"):
+            raise ValueError(f"unknown storage {self.storage!r}")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        for attr in ("partitions_per_node", "partitioner_threads",
+                     "concurrent_keys", "keys_per_thread",
+                     "reduce_threads_per_key", "output_replication"):
+            if getattr(self, attr) < 1:
+                raise ValueError(f"{attr} must be >= 1")
+        if self.use_combiner and self.collector == "buffer":
+            # §III-F: the combiner is supported only for the hash table
+            # collection mechanism.
+            raise ValueError(
+                "the combiner requires the hash-table collector")
+
+    @property
+    def effective_map_device(self) -> DeviceKind:
+        """Device the map kernels run on (override or job default)."""
+        return self.map_device if self.map_device is not None else self.device
+
+    @property
+    def effective_reduce_device(self) -> DeviceKind:
+        """Device the reduce kernels run on (override or job default)."""
+        return (self.reduce_device if self.reduce_device is not None
+                else self.device)
+
+    @property
+    def effective_merger_threads(self) -> int:
+        """Merger worker count (defaults to one per partition)."""
+        return self.merger_threads if self.merger_threads is not None \
+            else self.partitions_per_node
+
+    def with_(self, **kwargs) -> "JobConfig":
+        """Copy with overrides (convenience for parameter sweeps)."""
+        return replace(self, **kwargs)

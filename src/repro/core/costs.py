@@ -1,0 +1,56 @@
+"""Host-side (non-kernel) cost constants.
+
+These parameterise the work the Glasswing host threads do around the
+kernels: decoding collector output, sorting, partitioning, merging and
+grouping.  They are calibrated once, globally, so that the pipeline-stage
+ratios of the paper's Tables II/III hold (see EXPERIMENTS.md); every
+engine (Glasswing and baselines) uses the same constants, keeping
+comparisons honest.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["HostCosts", "DEFAULT_HOST_COSTS", "sort_seconds"]
+
+
+@dataclass(frozen=True)
+class HostCosts:
+    """Per-operation host CPU costs (single-thread)."""
+
+    #: decoding one collector item (key or pair) during partitioning —
+    #: includes key extraction, partition-function evaluation and copy
+    decode_item: float = 400e-9
+    #: one comparison-move during sorting (multiplied by n log2 n);
+    #: byte-string keys make comparisons several memory touches each
+    sort_item: float = 80e-9
+    #: moving one pair through a multi-way merge pass
+    merge_item: float = 60e-9
+    #: bulk throughput of scanning/serialising partition bytes
+    stream_bw: float = 800e6
+    #: grouping one value under its key in the reduce input reader
+    group_item: float = 40e-9
+    #: fixed cost of handling one partition push (framing, socket calls)
+    push_overhead: float = 200e-6
+
+    def decode_seconds(self, items: int, nbytes: int) -> float:
+        """Partitioner cost of decoding ``items`` spread over ``nbytes``."""
+        return items * self.decode_item + nbytes / self.stream_bw
+
+    def merge_seconds(self, items: int) -> float:
+        return items * self.merge_item
+
+    def group_seconds(self, items: int) -> float:
+        return items * self.group_item
+
+
+def sort_seconds(costs: HostCosts, items: int) -> float:
+    """Comparison-sort cost of ``items`` elements (n log2 n model)."""
+    if items < 2:
+        return 0.0
+    return costs.sort_item * items * math.log2(items)
+
+
+DEFAULT_HOST_COSTS = HostCosts()

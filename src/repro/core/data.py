@@ -1,0 +1,68 @@
+"""Data units flowing through the pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+__all__ = ["Chunk", "MapOutput", "SortedRun", "KeyGroupChunk", "ReduceOutput"]
+
+Pair = Tuple[Any, Any]
+
+
+@dataclass
+class Chunk:
+    """One input split loaded into memory by the map input stage."""
+
+    index: int
+    records: List[bytes]
+    nbytes: int
+
+
+@dataclass
+class MapOutput:
+    """Result of one map-kernel launch, before partitioning."""
+
+    chunk_index: int
+    pairs: List[Pair]
+    raw_bytes: int          # serialized size of ``pairs``
+    decode_items: int       # items the partitioner must decode individually
+
+
+@dataclass
+class SortedRun:
+    """A sorted sequence of intermediate pairs (one partition's unit of
+    merging).  ``raw_bytes`` is the uncompressed serialized size."""
+
+    pairs: List[Pair]
+    raw_bytes: int
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+@dataclass
+class KeyGroupChunk:
+    """Reduce input: up to ``concurrent_keys * keys_per_thread`` keys with
+    their grouped values, as produced by the final multi-way merge."""
+
+    index: int
+    groups: List[Tuple[Any, List[Any]]]
+    nbytes: int
+
+    @property
+    def n_keys(self) -> int:
+        return len(self.groups)
+
+    @property
+    def n_values(self) -> int:
+        return sum(len(vs) for _, vs in self.groups)
+
+
+@dataclass
+class ReduceOutput:
+    """Result of one reduce-kernel launch."""
+
+    chunk_index: int
+    pairs: List[Pair]
+    nbytes: int

@@ -1,0 +1,177 @@
+"""Job orchestration: map phase ∥ merge phase, then reduce phase.
+
+"Execution starts with launching the map phase and, concurrently, the
+merge phase at each node.  After the map phase completes, the merge phase
+continues until it has received all data sent to it by map pipeline
+instantiations at other nodes.  After the merge phase completes, the
+reduce phase is started."  (§III)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.hw.node import Cluster
+from repro.hw.specs import ClusterSpec, DeviceKind
+from repro.ocl.runtime import Device
+from repro.simt.core import Simulator
+from repro.simt.trace import Timeline
+
+from repro.core.api import MapReduceApp
+from repro.core.config import JobConfig
+from repro.core.coordinator import assign_splits, make_splits
+from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts
+from repro.core.faults import FaultInjector
+from repro.core.intermediate import IntermediateManager
+from repro.core.io import make_backend
+from repro.core.map_phase import MapPhase
+from repro.core.metrics import JobMetrics
+from repro.core.reduce_phase import ReducePhase
+from repro.storage.records import FixedRecordFormat
+
+__all__ = ["run_glasswing", "GlasswingResult"]
+
+
+@dataclass
+class GlasswingResult:
+    """Everything a finished Glasswing job produced."""
+
+    app_name: str
+    config: JobConfig
+    n_nodes: int
+    job_time: float                       # total virtual seconds
+    map_time: float                       # map-phase extent
+    merge_delay: float                    # post-map merge completion time
+    reduce_time: float                    # reduce-phase extent
+    output: Dict[int, List[Tuple[Any, Any]]]   # pid -> output pairs
+    timeline: Timeline
+    metrics: JobMetrics
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def output_pairs(self) -> Iterator[Tuple[Any, Any]]:
+        """All output pairs in partition order (TeraSort's total order)."""
+        for pid in sorted(self.output):
+            yield from self.output[pid]
+
+    def sorted_output(self) -> List[Tuple[Any, Any]]:
+        """Output pairs sorted by key — canonical form for comparisons."""
+        return sorted(self.output_pairs(), key=lambda kv: repr(kv[0]))
+
+
+def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
+                  cluster_spec: ClusterSpec,
+                  config: Optional[JobConfig] = None,
+                  costs: HostCosts = DEFAULT_HOST_COSTS,
+                  faults: Optional["FaultInjector"] = None
+                  ) -> GlasswingResult:
+    """Run one Glasswing job on a fresh simulated cluster.
+
+    ``inputs`` maps file paths to their content; installation is free of
+    simulated time (the paper excludes input generation from timings) and
+    the page caches are purged before the job starts, as in §IV.
+    ``faults`` optionally injects map-task failures, which the pipeline
+    survives through re-execution (§III-E).
+    """
+    config = config or JobConfig()
+    sim = Simulator()
+    timeline = Timeline()
+    cluster = Cluster(sim, cluster_spec, timeline=timeline)
+    n = len(cluster)
+
+    backend_kwargs = {}
+    if config.storage == "dfs":
+        backend_kwargs = dict(block_size=config.chunk_size,
+                              replication=config.input_replication)
+    backend = make_backend(config.storage, cluster, **backend_kwargs)
+    for path, data in inputs.items():
+        backend.install(path, data)
+    backend.purge_caches()
+
+    record_size = (app.record_format.record_size
+                   if isinstance(app.record_format, FixedRecordFormat) else None)
+    splits = make_splits(backend, sorted(inputs), config.chunk_size,
+                         record_size=record_size)
+    assignment = assign_splits(splits, backend, n)
+
+    map_devices = [_make_device(sim, cluster[i],
+                                config.effective_map_device)
+                   for i in range(n)]
+    if config.effective_reduce_device == config.effective_map_device:
+        reduce_devices = map_devices
+    else:
+        reduce_devices = [_make_device(sim, cluster[i],
+                                       config.effective_reduce_device)
+                          for i in range(n)]
+
+    managers = {
+        i: IntermediateManager(
+            sim, cluster[i], app, config, timeline,
+            owned_pids=[pid for pid in range(n * config.partitions_per_node)
+                        if pid % n == i],
+            costs=costs)
+        for i in range(n)
+    }
+    map_phases = [
+        MapPhase(sim, cluster[i], map_devices[i], app, config, backend,
+                 timeline, splits=assignment[i], managers=managers,
+                 network=cluster.network, costs=costs, faults=faults)
+        for i in range(n)
+    ]
+
+    result_box: Dict[str, Any] = {}
+
+    def job():
+        t0 = sim.now
+        yield sim.all_of([mp.run() for mp in map_phases])
+        # The merge phase continues until all pushed Partitions arrive.
+        pushes = [p for mp in map_phases for p in mp.push_procs]
+        if pushes:
+            yield sim.all_of(pushes)
+        timeline.record("phase.map", "job", t0, sim.now)
+        for mp in map_phases:
+            mp.release_buffers()
+        t1 = sim.now
+        yield sim.all_of([sim.process(m.finalize(),
+                                      name=f"finalize{i}")
+                          for i, m in managers.items()])
+        timeline.record("phase.merge", "job", t1, sim.now)
+        t2 = sim.now
+        reduce_phases = [
+            ReducePhase(sim, cluster[i], reduce_devices[i], app, config,
+                        backend, timeline, managers[i], costs=costs)
+            for i in range(n)
+        ]
+        yield sim.all_of([rp.run() for rp in reduce_phases])
+        timeline.record("phase.reduce", "job", t2, sim.now)
+        for rp in reduce_phases:
+            rp.release_buffers()
+        result_box["reduce_phases"] = reduce_phases
+        result_box["times"] = (t1 - t0, t2 - t1, sim.now - t2)
+
+    sim.process(job(), name="glasswing-job")
+    sim.run()
+
+    map_time, merge_delay, reduce_time = result_box["times"]
+    output: Dict[int, List[Tuple[Any, Any]]] = {}
+    for rp in result_box["reduce_phases"]:
+        for pid, pairs in rp.output_pairs.items():
+            output[pid] = pairs
+
+    metrics = JobMetrics(timeline, n)
+    stats = {
+        "records_mapped": sum(mp.records_mapped for mp in map_phases),
+        "pairs_emitted": sum(mp.pairs_emitted for mp in map_phases),
+        "keys_reduced": sum(rp.keys_reduced
+                            for rp in result_box["reduce_phases"]),
+        "network_bytes": cluster.network.bytes_moved,
+        "splits": len(splits),
+    }
+    return GlasswingResult(
+        app_name=app.name, config=config, n_nodes=n, job_time=sim.now,
+        map_time=map_time, merge_delay=merge_delay, reduce_time=reduce_time,
+        output=output, timeline=timeline, metrics=metrics, stats=stats)
+
+
+def _make_device(sim: Simulator, node, kind: DeviceKind) -> Device:
+    return Device(sim, node.spec.device(kind), node)

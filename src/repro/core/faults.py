@@ -1,0 +1,72 @@
+"""Task-failure injection and re-execution (§III-E, implemented).
+
+The paper: "Glasswing currently does not handle task failure.  The
+standard approach of managing MapReduce task failure is re-execution: if
+a task fails, its partial output is discarded and its input is
+rescheduled for processing.  Addition of this functionality would consist
+of bookkeeping only which would involve negligible overhead."
+
+This module adds that bookkeeping.  A :class:`FaultInjector` declares
+which map tasks fail (and how many times); the map pipeline discards the
+partial kernel work, reloads the split from storage and re-executes.
+Durability of *completed* map output is untouched — it was already on
+disk (§III-E's guarantee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["FaultInjector", "TaskFailure"]
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Record of one injected failure."""
+
+    split_index: int
+    attempt: int
+    node: str
+    at: float           # virtual time of the crash
+    wasted: float       # virtual seconds of discarded kernel work
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic failure plan: ``split_index -> number of failures``.
+
+    A task scheduled for ``k`` failures crashes on its first ``k``
+    attempts and succeeds on attempt ``k``; the fraction of the kernel
+    executed before each crash is ``progress_at_failure``.
+    """
+
+    fail_counts: Dict[int, int] = field(default_factory=dict)
+    progress_at_failure: float = 0.5
+    failures: List[TaskFailure] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.progress_at_failure <= 1.0):
+            raise ValueError("progress_at_failure must be within [0, 1]")
+        if any(c < 0 for c in self.fail_counts.values()):
+            raise ValueError("failure counts must be non-negative")
+
+    def should_fail(self, split_index: int, attempt: int) -> bool:
+        """True when this attempt of this split is destined to crash."""
+        return attempt < self.fail_counts.get(split_index, 0)
+
+    def record(self, split_index: int, attempt: int, node: str,
+               at: float, wasted: float) -> None:
+        """Log one crash (called by the map phase at failure time)."""
+        self.failures.append(TaskFailure(split_index, attempt, node, at,
+                                         wasted))
+
+    @property
+    def total_failures(self) -> int:
+        """Number of crashes injected so far."""
+        return len(self.failures)
+
+    @property
+    def wasted_seconds(self) -> float:
+        """Total virtual kernel time discarded by crashes."""
+        return sum(f.wasted for f in self.failures)

@@ -1,0 +1,258 @@
+"""Per-node intermediate data management (§III-B of the paper).
+
+Each node runs, in parallel with its map pipeline, a group of merger
+threads that manage intermediate data:
+
+1. an in-memory cache of partitions, merged and flushed to local disk when
+   the aggregate size exceeds a configurable threshold;
+2. partitions received from other cluster nodes join the cache;
+3. on-disk runs are continuously merged (multi-way) so the file count per
+   partition stays below a configurable limit.
+
+The **merge delay** — the paper's §III-B metric — is the time spent
+finishing this work after the map phase completes and before reduction can
+start.  It emerges here from the backlog the merger threads could not
+clear while competing with the map kernel and partitioner threads for CPU.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.hw.node import Node
+from repro.simt.core import Event, Simulator
+from repro.simt.resources import Store, StoreClosed
+from repro.simt.trace import Timeline
+
+from repro.core.api import MapReduceApp
+from repro.core.config import JobConfig
+from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts
+from repro.core.data import SortedRun
+
+__all__ = ["IntermediateManager", "DiskRun"]
+
+
+@dataclass
+class DiskRun:
+    """A sorted, compressed run persisted on the node-local disk."""
+
+    path: str
+    pairs: List            # real data (kept in memory; bytes are modeled)
+    raw_bytes: int         # uncompressed serialized size
+    stored_bytes: int      # compressed size actually on disk
+
+
+class IntermediateManager:
+    """Owns the partitions assigned to one node.
+
+    Global partition ``pid`` is owned by node ``pid % n_nodes``; this
+    manager stores runs for its owned pids, keyed locally.
+    """
+
+    def __init__(self, sim: Simulator, node: Node,
+                 app: MapReduceApp, config: JobConfig, timeline: Timeline,
+                 owned_pids: List[int],
+                 costs: HostCosts = DEFAULT_HOST_COSTS):
+        self.sim = sim
+        self.node = node
+        self.app = app
+        self.config = config
+        self.timeline = timeline
+        self.costs = costs
+        self.owned = list(owned_pids)
+        self._mem_runs: Dict[int, List[SortedRun]] = {p: [] for p in owned_pids}
+        self._disk_runs: Dict[int, List[DiskRun]] = {p: [] for p in owned_pids}
+        self._mem_bytes = 0
+        self._flush_pending: set[int] = set()
+        self._queue = Store(sim, name=f"{node.name}.mergeq")
+        # Tasks enqueued but not yet finished; counted at enqueue time so
+        # the drain check cannot race with a worker picking up a task.
+        self._pending = 0
+        self._idle_event: Optional[Event] = None
+        self._run_seq = 0
+        self._workers = [
+            sim.process(self._worker(), name=f"{node.name}.merger{i}")
+            for i in range(config.effective_merger_threads)
+        ]
+        self.merge_delay: float = 0.0
+        self.spilled_bytes = 0
+
+    # -- ingestion ---------------------------------------------------------
+    def add_run(self, pid: int, run: SortedRun) -> None:
+        """Accept a sorted run for owned partition ``pid`` (cache insert).
+
+        Called by the local partitioning stage and by the network receiver
+        for remote pushes.  Cheap (pointer append); merging/flushing
+        happens on the merger threads.
+        """
+        if pid not in self._mem_runs:
+            raise KeyError(f"partition {pid} is not owned by {self.node.name}")
+        if not run.pairs:
+            return
+        self._mem_runs[pid].append(run)
+        self._mem_bytes += run.raw_bytes
+        self._maybe_trigger_flush()
+
+    # -- lifecycle -------------------------------------------------------------
+    def finalize(self) -> Generator:
+        """Finish all outstanding merge work; records the merge delay.
+
+        Must be called after the map phase completed globally (all pushes
+        delivered).  Consolidates every owned partition to at most
+        ``max_intermediate_files`` disk runs.
+        """
+        start = self.sim.now
+        for pid in self.owned:
+            if len(self._disk_runs[pid]) > self.config.max_intermediate_files:
+                self._enqueue(("compact", pid))
+        yield from self._drain()
+        self.merge_delay = self.sim.now - start
+        self.timeline.record("merge.delay", self.node.name, start, self.sim.now)
+        self._queue.close()
+
+    def read_partition(self, pid: int) -> Tuple[List[SortedRun], int, int]:
+        """Runs of an owned partition for the reduce input reader.
+
+        Returns ``(runs, disk_bytes, disk_raw_bytes)`` — the stored
+        (compressed) bytes that must come off disk and their inflated
+        size, so the reader can charge I/O and decompression.
+        """
+        runs = list(self._mem_runs.get(pid, []))
+        disk_bytes = 0
+        disk_raw = 0
+        for dr in self._disk_runs.get(pid, []):
+            runs.append(SortedRun(dr.pairs, dr.raw_bytes))
+            disk_bytes += dr.stored_bytes
+            disk_raw += dr.raw_bytes
+        return runs, disk_bytes, disk_raw
+
+    # -- flush triggering ----------------------------------------------------------
+    def _maybe_trigger_flush(self) -> None:
+        if self._mem_bytes <= self.config.cache_threshold:
+            return
+        # Flush the largest cached partitions until we are half-drained.
+        target = self.config.cache_threshold // 2
+        by_size = sorted(
+            ((sum(r.raw_bytes for r in runs), pid)
+             for pid, runs in self._mem_runs.items()
+             if runs and pid not in self._flush_pending),
+            reverse=True)
+        projected = self._mem_bytes
+        for size, pid in by_size:
+            if projected <= target:
+                break
+            self._flush_pending.add(pid)
+            self._enqueue(("flush", pid))
+            projected -= size
+
+    # -- merger workers ----------------------------------------------------------
+    def _enqueue(self, task: Tuple[str, int]) -> None:
+        self._pending += 1
+        self._queue.put(task)
+
+    def _worker(self) -> Generator:
+        while True:
+            try:
+                task, pid = yield self._queue.get()
+            except StoreClosed:
+                return
+            try:
+                if task == "flush":
+                    yield from self._do_flush(pid)
+                elif task == "compact":
+                    yield from self._do_compact(pid)
+                else:  # pragma: no cover - defensive
+                    raise ValueError(f"unknown merge task {task!r}")
+            finally:
+                self._pending -= 1
+                self._signal_if_idle()
+
+    def _do_flush(self, pid: int) -> Generator:
+        self._flush_pending.discard(pid)
+        runs = self._mem_runs[pid]
+        if not runs:
+            return
+        self._mem_runs[pid] = []
+        raw = sum(r.raw_bytes for r in runs)
+        self._mem_bytes -= raw
+        merged = self._merge_runs(runs)
+        start = self.sim.now
+        items = len(merged.pairs)
+        cpu = (self.costs.merge_seconds(items)
+               + self.config.compression.compress_seconds(raw))
+        yield self.node.host_work(1, cpu, tag="merge.flush")
+        stored = self.config.compression.compressed_size(raw)
+        path = self._new_run_path(pid)
+        yield from self.node.disk.write(stored, stream=path)
+        self._disk_runs[pid].append(DiskRun(path, merged.pairs, raw, stored))
+        self.spilled_bytes += stored
+        self.timeline.record("merge.flush", self.node.name, start, self.sim.now,
+                             pid=pid, items=items)
+        if len(self._disk_runs[pid]) > self.config.max_intermediate_files:
+            self._enqueue(("compact", pid))
+
+    def _do_compact(self, pid: int) -> Generator:
+        disk_runs = self._disk_runs[pid]
+        if len(disk_runs) <= 1:
+            return
+        self._disk_runs[pid] = []
+        start = self.sim.now
+        raw = sum(r.raw_bytes for r in disk_runs)
+        stored_in = sum(r.stored_bytes for r in disk_runs)
+        # Read + decompress every input run, merge, compress, write back.
+        for dr in disk_runs:
+            yield from self.node.disk.read(dr.stored_bytes, stream=dr.path)
+        runs = [SortedRun(dr.pairs, dr.raw_bytes) for dr in disk_runs]
+        merged = self._merge_runs(runs)
+        cpu = (self.config.compression.decompress_seconds(raw)
+               + self.costs.merge_seconds(len(merged.pairs))
+               + self.config.compression.compress_seconds(raw))
+        yield self.node.host_work(1, cpu, tag="merge.compact")
+        stored = self.config.compression.compressed_size(raw)
+        path = self._new_run_path(pid)
+        yield from self.node.disk.write(stored, stream=path)
+        self._disk_runs[pid].append(DiskRun(path, merged.pairs, raw, stored))
+        self.timeline.record("merge.compact", self.node.name, start,
+                             self.sim.now, pid=pid, stored_in=stored_in)
+
+    # -- helpers ----------------------------------------------------------------
+    def _merge_runs(self, runs: List[SortedRun]) -> SortedRun:
+        """Real multi-way merge preserving sort order."""
+        key = self.app.sort_key
+        merged = list(heapq.merge(*[r.pairs for r in runs],
+                                  key=lambda kv: key(kv[0])))
+        return SortedRun(merged, sum(r.raw_bytes for r in runs))
+
+    def _new_run_path(self, pid: int) -> str:
+        self._run_seq += 1
+        return f".inter/p{pid}/run{self._run_seq}"
+
+    def _drain(self) -> Generator:
+        """Wait until every enqueued task has finished."""
+        while self._pending:
+            self._idle_event = Event(self.sim)
+            yield self._idle_event
+        return
+
+    def _signal_if_idle(self) -> None:
+        if (self._idle_event is not None and not self._idle_event.triggered
+                and self._pending == 0):
+            self._idle_event.succeed(None)
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def cached_bytes(self) -> int:
+        return self._mem_bytes
+
+    def disk_run_count(self, pid: int) -> int:
+        return len(self._disk_runs[pid])
+
+    def total_pairs(self) -> int:
+        n = 0
+        for runs in self._mem_runs.values():
+            n += sum(len(r.pairs) for r in runs)
+        for drs in self._disk_runs.values():
+            n += sum(len(dr.pairs) for dr in drs)
+        return n

@@ -1,0 +1,220 @@
+"""The map-phase pipeline instantiation (§III-A of the paper).
+
+Stage bodies:
+
+1. **Input** — read one split from storage, cut it into records.
+2. **Stage** — deliver the chunk to the compute device (disabled for
+   unified-memory devices).
+3. **Kernel** — run the application's map function over the whole chunk in
+   parallel, collect output through the configured collector (hash table
+   with optional combiner, or shared buffer pool).
+4. **Retrieve** — bring the produced pairs back to host memory (disabled
+   for unified memory).
+5. **Output/Partition** — sort the pairs, cut them into Partitions, write
+   all of them to local disk for durability, then push each Partition to
+   its owner node (local ones join the in-memory cache directly; remote
+   ones travel the network asynchronously).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List
+
+from repro.hw.node import Node
+from repro.net.transport import Network
+from repro.ocl.runtime import Buffer, Context, Device
+from repro.simt.core import Simulator
+from repro.simt.trace import Timeline
+
+from repro.core.api import MapReduceApp
+from repro.core.collector import collect_map_output
+from repro.core.config import JobConfig
+from repro.core.coordinator import Split
+from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts, sort_seconds
+from repro.core.data import Chunk, MapOutput, SortedRun
+from repro.core.faults import FaultInjector
+from repro.core.intermediate import IntermediateManager
+from repro.core.io import StorageBackend
+from repro.core.pipeline import Pipeline
+from repro.core.splitread import read_split_records
+
+__all__ = ["MapPhase"]
+
+
+class MapPhase:
+    """One node's map pipeline plus its partition-push bookkeeping."""
+
+    def __init__(self, sim: Simulator, node: Node, device: Device,
+                 app: MapReduceApp, config: JobConfig,
+                 backend: StorageBackend, timeline: Timeline,
+                 splits: List[Split],
+                 managers: Dict[int, IntermediateManager],
+                 network: Network,
+                 costs: HostCosts = DEFAULT_HOST_COSTS,
+                 faults: FaultInjector | None = None):
+        self.sim = sim
+        self.node = node
+        self.device = device
+        self.app = app
+        self.config = config
+        self.backend = backend
+        self.timeline = timeline
+        self.managers = managers          # node_id -> manager (all nodes)
+        self.network = network
+        self.n_nodes = len(managers)
+        self.costs = costs
+        self.faults = faults
+        self._splits_by_index = {s.index: s for s in splits}
+        self.push_procs: List = []        # in-flight remote pushes
+        self.records_mapped = 0
+        self.pairs_emitted = 0
+        stage_fn = None if device.spec.unified_memory else self._stage
+        retrieve_fn = None if device.spec.unified_memory else self._retrieve
+        # Real device-buffer allocation: the §III-D trade-off ("more
+        # buffers ... may be a limited resource for GPUs") is enforced by
+        # the OpenCL layer's memory accounting, not by a separate check.
+        self._ctx: Context | None = None
+        self._buffers: List[Buffer] = []
+        if not device.spec.unified_memory:
+            self._ctx = Context(sim, [device])
+            for group in ("in", "out"):
+                for i in range(config.buffering):
+                    self._buffers.append(self._ctx.alloc_buffer(
+                        device, config.chunk_size,
+                        name=f"{node.name}.map.{group}{i}"))
+        self.pipeline = Pipeline(
+            sim, timeline, name="map", instance=node.name,
+            buffering=config.buffering, items=splits,
+            read_fn=self._read, kernel_fn=self._kernel,
+            output_fn=self._partition,
+            stage_fn=stage_fn, retrieve_fn=retrieve_fn)
+
+    def release_buffers(self) -> None:
+        """Free the phase's device buffers (the engine calls this when
+        the map phase completes, before the reduce phase allocates)."""
+        if self._ctx is not None:
+            for buf in self._buffers:
+                self._ctx.release(buf)
+            self._buffers = []
+
+    def run(self):
+        """Start the pipeline; returns its completion event."""
+        return self.pipeline.run()
+
+    # -- stage bodies ------------------------------------------------------
+    def _read(self, split: Split) -> Generator:
+        records, nbytes = yield from read_split_records(
+            self.backend, self.node.node_id, split, self.app.record_format)
+        return Chunk(index=split.index, records=records, nbytes=nbytes)
+
+    def _stage(self, chunk: Chunk) -> Generator:
+        yield from self.device.transfer(chunk.nbytes, "h2d")
+        return chunk
+
+    def _kernel(self, chunk: Chunk) -> Generator:
+        chunk = yield from self._rerun_failures(chunk)
+        pairs = self.app.map_batch(chunk.records)      # the real map work
+        self.records_mapped += len(chunk.records)
+        use_combiner = self.config.use_combiner and self.app.has_combiner
+        out, extra = collect_map_output(
+            self.config.collector, self.app, self.device.spec, pairs,
+            use_combiner, chunk.index)
+        cost = self.app.map_cost(self.device.spec, len(chunk.records),
+                                 chunk.nbytes) + extra
+        threads = self.config.kernel_threads
+        if threads is None:
+            threads = self.app.preferred_threads(self.device.spec)
+        yield from self.device.execute_cost(cost, threads=threads)
+        self.pairs_emitted += len(out.pairs)
+        return out
+
+    def _rerun_failures(self, chunk: Chunk) -> Generator:
+        """Re-execution bookkeeping (§III-E): a crashing task discards its
+        partial kernel work and its input is rescheduled (re-read)."""
+        if self.faults is None:
+            return chunk
+        attempt = 0
+        while self.faults.should_fail(chunk.index, attempt):
+            cost = self.app.map_cost(self.device.spec, len(chunk.records),
+                                     chunk.nbytes)
+            partial = cost.scaled(self.faults.progress_at_failure)
+            start = self.sim.now
+            yield from self.device.execute_cost(partial)
+            wasted = self.sim.now - start
+            self.faults.record(chunk.index, attempt, self.node.name,
+                               self.sim.now, wasted)
+            self.timeline.record("map.task_failure", self.node.name,
+                                 start, self.sim.now, split=chunk.index,
+                                 attempt=attempt)
+            # Reschedule: reload the split from (replicated) storage.
+            split = self._splits_by_index[chunk.index]
+            records, nbytes = yield from read_split_records(
+                self.backend, self.node.node_id, split,
+                self.app.record_format)
+            chunk = Chunk(index=chunk.index, records=records, nbytes=nbytes)
+            attempt += 1
+        return chunk
+
+    def _retrieve(self, out: MapOutput) -> Generator:
+        yield from self.device.transfer(out.raw_bytes, "d2h")
+        return out
+
+    def _partition(self, out: MapOutput) -> Generator:
+        """Stage 5: sort, partition, persist, push."""
+        cfg = self.config
+        total_partitions = self.n_nodes * cfg.partitions_per_node
+        # Real work: bucket the pairs and sort each bucket.
+        buckets: Dict[int, List] = {}
+        for pair in out.pairs:
+            pid = self.app.partition(pair[0], total_partitions)
+            buckets.setdefault(pid, []).append(pair)
+        for pid in buckets:
+            buckets[pid].sort(key=lambda kv: self.app.sort_key(kv[0]))
+        # Cost: decode + sort + compress, spread over N partitioner threads.
+        cpu = (self.costs.decode_seconds(out.decode_items, out.raw_bytes)
+               + sort_seconds(self.costs, out.decode_items)
+               + cfg.compression.compress_seconds(out.raw_bytes))
+        cpu_start = self.sim.now
+        yield self.node.host_work(cfg.partitioner_threads, cpu,
+                                  tag="map.partition")
+        # The CPU component alone, separate from the stage total (which
+        # also contains the durability disk write): Table III's "no
+        # contention from kernel threads" effect lives here.
+        self.timeline.record("map.partition_cpu", self.node.name,
+                             cpu_start, self.sim.now)
+        # Durability: one full copy of the map output on the local disk,
+        # appended to the node's spill area (one sequential write stream).
+        stored_total = cfg.compression.compressed_size(out.raw_bytes)
+        yield from self.node.disk.write(stored_total, stream="spill")
+        # Push each Partition to its owner.  Pushes to the same peer are
+        # batched into one message per chunk (one socket per peer), and
+        # they run asynchronously: the pipeline's output stage does not
+        # wait for the network.
+        remote: Dict[int, List[tuple[int, SortedRun]]] = {}
+        for pid, pairs in sorted(buckets.items()):
+            raw = self.app.inter_schema.size_of(pairs)
+            run = SortedRun(pairs, raw)
+            owner = pid % self.n_nodes
+            if owner == self.node.node_id:
+                self.managers[owner].add_run(pid, run)
+            else:
+                remote.setdefault(owner, []).append((pid, run))
+        for owner, runs in remote.items():
+            self.push_procs.append(self.sim.process(
+                self._push(owner, runs),
+                name=f"{self.node.name}.push.n{owner}"))
+        return out
+
+    def _push(self, owner: int,
+              runs: List[tuple[int, SortedRun]]) -> Generator:
+        """Asynchronous remote Partition push (Glasswing pushes; Hadoop
+        pulls — one of the paper's stated latency advantages)."""
+        stored = sum(self.config.compression.compressed_size(r.raw_bytes)
+                     for _, r in runs)
+        yield self.node.host_work(1, self.costs.push_overhead, tag="push")
+        start = self.sim.now
+        yield from self.network.send(self.node.node_id, owner, stored)
+        self.timeline.record("map.push", self.node.name, start, self.sim.now,
+                             pids=len(runs), bytes=stored)
+        for pid, run in runs:
+            self.managers[owner].add_run(pid, run)

@@ -1,0 +1,74 @@
+"""Per-stage metrics extracted from the simulation timeline.
+
+Reproduces the instrumentation of §IV-B: "we instrumented [the pipeline]
+with timers for each pipeline stage".  Tables II/III and Figures 4/5 are
+all views over these numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.simt.trace import Timeline
+
+__all__ = ["JobMetrics", "MAP_STAGES", "REDUCE_STAGES"]
+
+MAP_STAGES = ("input", "stage", "kernel", "retrieve", "output")
+REDUCE_STAGES = ("input", "stage", "kernel", "retrieve", "output")
+
+
+@dataclass
+class JobMetrics:
+    """Queryable view over a finished job's timeline."""
+
+    timeline: Timeline
+    n_nodes: int
+
+    # -- stage-level ---------------------------------------------------------
+    def stage_time(self, phase: str, stage: str,
+                   node: Optional[str] = None) -> float:
+        """Active (occupied) time of one pipeline stage.
+
+        With ``node=None`` returns the maximum across nodes — the paper's
+        single-node tables are exactly the one-node case.
+        """
+        cat = f"{phase}.{stage}"
+        if node is not None:
+            return self.timeline.occupied_time(cat, name=node)
+        nodes = {s.name for s in self.timeline.by_category(cat)}
+        if not nodes:
+            return 0.0
+        return max(self.timeline.occupied_time(cat, name=n) for n in nodes)
+
+    def breakdown(self, phase: str, node: Optional[str] = None
+                  ) -> Dict[str, float]:
+        """Stage -> active time for one phase (the Tables II/III rows)."""
+        return {stage: self.stage_time(phase, stage, node)
+                for stage in MAP_STAGES}
+
+    # -- phase-level -----------------------------------------------------------
+    def phase_elapsed(self, phase: str) -> float:
+        """Wall-clock extent of a phase across all nodes."""
+        return self.timeline.span_extent(f"{phase}.elapsed")
+
+    @property
+    def map_elapsed(self) -> float:
+        """Map-phase wall-clock extent across all nodes."""
+        return self.phase_elapsed("map")
+
+    @property
+    def reduce_elapsed(self) -> float:
+        """Reduce-phase wall-clock extent across all nodes."""
+        return self.phase_elapsed("reduce")
+
+    @property
+    def merge_delay(self) -> float:
+        """Maximum per-node merge delay (§III-B metric)."""
+        spans = self.timeline.by_category("merge.delay")
+        return max((s.duration for s in spans), default=0.0)
+
+    # -- invariants used by tests ------------------------------------------------
+    def stage_sum(self, phase: str, node: Optional[str] = None) -> float:
+        """Sum of the five stages' active times (>= elapsed iff overlapped)."""
+        return sum(self.breakdown(phase, node).values())

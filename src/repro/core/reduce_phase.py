@@ -1,0 +1,216 @@
+"""The reduce-phase pipeline instantiation (§III-C of the paper).
+
+Stage bodies:
+
+1. **Input** — perform the last multi-way merge over a partition's runs
+   (memory-cached + on-disk) and emit chunks of grouped keys.  The reduce
+   reader "supplies the pipeline with a consistent view of the
+   intermediate data".
+2. **Stage** / 4. **Retrieve** — host<->device transfers, disabled for
+   unified memory.
+3. **Kernel** — reduce ``concurrent_keys`` keys in parallel, each kernel
+   thread processing ``keys_per_thread`` keys sequentially (the Figure-5
+   amortisation of launch overhead).  Keys whose value list exceeds the
+   per-launch budget relaunch with scratch-buffer state (§III-C).
+5. **Output** — write final pairs to persistent storage with the
+   configured replication.
+
+TeraSort-style ``map_only_output`` jobs use an identity kernel of zero
+cost: their output is fully determined by the shuffle's total order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Generator, List, Tuple
+
+from repro.hw.node import Node
+from repro.ocl.kernel import KernelCost
+from repro.ocl.runtime import Buffer, Context, Device
+from repro.simt.core import Simulator
+from repro.simt.trace import Timeline
+
+from repro.core.api import MapReduceApp
+from repro.core.config import JobConfig
+from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts
+from repro.core.data import KeyGroupChunk, ReduceOutput
+from repro.core.intermediate import IntermediateManager
+from repro.core.io import StorageBackend
+from repro.core.pipeline import Pipeline
+
+__all__ = ["ReducePhase"]
+
+
+@dataclass
+class _ReduceItem:
+    """Work descriptor for one reduce-input chunk of one partition."""
+
+    index: int
+    pid: int
+    groups: List[Tuple[Any, List[Any]]]
+    nbytes: int          # serialized size of the groups (raw)
+    disk_bytes: int      # compressed bytes this chunk pulls off disk
+    disk_raw: int        # their inflated size (decompression cost basis)
+    merge_items: int     # pairs moved through the final merge for this chunk
+
+
+class ReducePhase:
+    """One node's reduce pipeline over its owned partitions."""
+
+    def __init__(self, sim: Simulator, node: Node, device: Device,
+                 app: MapReduceApp, config: JobConfig,
+                 backend: StorageBackend, timeline: Timeline,
+                 manager: IntermediateManager,
+                 costs: HostCosts = DEFAULT_HOST_COSTS):
+        self.sim = sim
+        self.node = node
+        self.device = device
+        self.app = app
+        self.config = config
+        self.backend = backend
+        self.timeline = timeline
+        self.manager = manager
+        self.costs = costs
+        self.output_pairs: dict[int, list] = {}
+        self.keys_reduced = 0
+        self._pid_by_index: dict[int, int] = {}
+        items = self._plan_items()
+        stage_fn = None if device.spec.unified_memory else self._stage
+        retrieve_fn = None if device.spec.unified_memory else self._retrieve
+        # Device buffers for the reduce pipeline's slots (real OpenCL
+        # memory accounting, as in the map phase).
+        self._ctx: "Context | None" = None
+        self._buffers: List[Buffer] = []
+        if not device.spec.unified_memory:
+            self._ctx = Context(sim, [device])
+            for group in ("in", "out"):
+                for i in range(config.buffering):
+                    self._buffers.append(self._ctx.alloc_buffer(
+                        device, config.chunk_size,
+                        name=f"{node.name}.reduce.{group}{i}"))
+        self.pipeline = Pipeline(
+            sim, timeline, name="reduce", instance=node.name,
+            buffering=config.buffering, items=items,
+            read_fn=self._read, kernel_fn=self._kernel,
+            output_fn=self._write,
+            stage_fn=stage_fn, retrieve_fn=retrieve_fn)
+
+    def run(self):
+        """Start the pipeline; returns its completion event."""
+        return self.pipeline.run()
+
+    def release_buffers(self) -> None:
+        """Free the phase's device buffers."""
+        if self._ctx is not None:
+            for buf in self._buffers:
+                self._ctx.release(buf)
+            self._buffers = []
+
+    # -- planning ------------------------------------------------------------
+    def _plan_items(self) -> List[_ReduceItem]:
+        """Merge every owned partition (real data, zero sim time) and cut
+        the grouped stream into kernel-sized chunks.
+
+        The *costs* of this merging — disk reads, decompression, merge and
+        grouping CPU — are charged per chunk by the input stage, spreading
+        them exactly like the streaming reader the paper describes, so the
+        pipeline overlap is preserved.
+        """
+        cfg = self.config
+        keys_per_chunk = cfg.concurrent_keys * cfg.keys_per_thread
+        items: List[_ReduceItem] = []
+        index = 0
+        for pid in self.manager.owned:
+            runs, disk_bytes, disk_raw = self.manager.read_partition(pid)
+            if not runs:
+                continue
+            merged = list(_merge_pairs(self.app, runs))
+            groups = _group_pairs(merged)
+            total_pairs = max(1, len(merged))
+            for start in range(0, len(groups), keys_per_chunk):
+                part = groups[start:start + keys_per_chunk]
+                pairs_here = sum(len(vs) for _, vs in part)
+                frac = pairs_here / total_pairs
+                items.append(_ReduceItem(
+                    index=index, pid=pid, groups=part,
+                    nbytes=self.app.inter_schema.size_of(
+                        (k, v) for k, vs in part for v in vs),
+                    disk_bytes=int(disk_bytes * frac),
+                    disk_raw=int(disk_raw * frac),
+                    merge_items=pairs_here * max(1, len(runs)).bit_length(),
+                ))
+                self._pid_by_index[index] = pid
+                index += 1
+        return items
+
+    # -- stage bodies ------------------------------------------------------------
+    def _read(self, item: _ReduceItem) -> Generator:
+        if item.disk_bytes:
+            yield from self.node.disk.read(item.disk_bytes,
+                                           stream=f"p{item.pid}")
+        cpu = (self.config.compression.decompress_seconds(item.disk_raw)
+               + self.costs.merge_seconds(item.merge_items)
+               + self.costs.group_seconds(sum(len(vs) for _, vs in item.groups)))
+        if cpu:
+            yield self.node.host_work(1, cpu, tag="reduce.read")
+        return KeyGroupChunk(index=item.index, groups=item.groups,
+                             nbytes=item.nbytes)
+
+    def _stage(self, chunk: KeyGroupChunk) -> Generator:
+        yield from self.device.transfer(chunk.nbytes, "h2d")
+        return chunk
+
+    def _kernel(self, chunk: KeyGroupChunk) -> Generator:
+        cfg = self.config
+        # Real reduction.
+        out_pairs: List[Tuple[Any, Any]] = []
+        if self.app.map_only_output:
+            for key, values in chunk.groups:
+                out_pairs.extend((key, v) for v in values)
+            cost = KernelCost(launches=0)
+        else:
+            for key, values in chunk.groups:
+                out_pairs.extend(self.app.reduce(key, values))
+            # Scratch-buffer relaunches for oversized value lists (§III-C).
+            relaunches = sum(len(vs) // cfg.max_values_per_launch
+                             for _, vs in chunk.groups)
+            base = self.app.reduce_cost(self.device.spec, chunk.n_keys,
+                                        chunk.n_values)
+            cost = KernelCost(flops=base.flops,
+                              device_bytes=base.device_bytes,
+                              atomic_intensity=base.atomic_intensity,
+                              launches=1 + relaunches)
+        threads = min(chunk.n_keys, cfg.concurrent_keys) \
+            * cfg.reduce_threads_per_key
+        yield from self.device.execute_cost(cost, threads=threads)
+        self.keys_reduced += chunk.n_keys
+        nbytes = self.app.output_schema.size_of(out_pairs)
+        return ReduceOutput(chunk_index=chunk.index, pairs=out_pairs,
+                            nbytes=nbytes)
+
+    def _retrieve(self, out: ReduceOutput) -> Generator:
+        yield from self.device.transfer(out.nbytes, "d2h")
+        return out
+
+    def _write(self, out: ReduceOutput) -> Generator:
+        pid = self._pid_by_index[out.chunk_index]
+        yield from self.backend.write_chunk(
+            self.node.node_id, out.nbytes, self.config.output_replication)
+        self.output_pairs.setdefault(pid, []).extend(out.pairs)
+        return out
+
+
+def _merge_pairs(app: MapReduceApp, runs) -> Generator:
+    """Real multi-way merge of sorted runs (heap-based, stable enough)."""
+    import heapq
+    return heapq.merge(*[r.pairs for r in runs],
+                       key=lambda kv: app.sort_key(kv[0]))
+
+
+def _group_pairs(pairs: List[Tuple[Any, Any]]) -> List[Tuple[Any, List[Any]]]:
+    """Group a sorted pair stream into (key, [values]) entries."""
+    groups: List[Tuple[Any, List[Any]]] = []
+    for key, vals in itertools.groupby(pairs, key=lambda kv: kv[0]):
+        groups.append((key, [v for _, v in vals]))
+    return groups

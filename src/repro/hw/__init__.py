@@ -1,0 +1,35 @@
+"""Hardware models: compute devices, disks, NICs, nodes and clusters.
+
+Specs (:mod:`repro.hw.specs`) are immutable dataclasses describing
+capability numbers (bandwidths, throughputs, core counts).  Runtimes
+(:mod:`repro.hw.cpu`, :mod:`repro.hw.disk`, :mod:`repro.hw.node`) attach
+those specs to a :class:`~repro.simt.Simulator` and expose operations that
+charge virtual time.  :mod:`repro.hw.presets` reconstructs the paper's
+DAS-4 cluster (Type-1 / Type-2 nodes, GTX480 / K20m / GTX680 GPUs, Xeon
+Phi, GbE + QDR InfiniBand).
+"""
+
+from repro.hw.cpu import FluidCPU
+from repro.hw.disk import Disk
+from repro.hw.node import Cluster, Node
+from repro.hw.specs import (
+    ClusterSpec,
+    DeviceKind,
+    DeviceSpec,
+    DiskSpec,
+    NetworkSpec,
+    NodeSpec,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "DeviceKind",
+    "DeviceSpec",
+    "Disk",
+    "DiskSpec",
+    "FluidCPU",
+    "NetworkSpec",
+    "Node",
+    "NodeSpec",
+]

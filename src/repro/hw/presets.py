@@ -1,0 +1,206 @@
+"""DAS-4 hardware presets matching the paper's evaluation platform.
+
+The cluster (VU Amsterdam DAS-4, §IV of the paper):
+
+* 64 **Type-1** nodes — dual quad-core Intel Xeon E5620 @ 2.4 GHz
+  (8 cores / 16 hardware threads), 24 GB RAM, two 1 TB disks in software
+  RAID-0; 23 of them carry an NVIDIA GTX480.
+* **Type-2** nodes — dual 6-core Xeon @ 2 GHz (12 cores / 24 threads),
+  64 GB RAM, NVIDIA K20m.
+* Two more nodes with an Intel Xeon Phi and one with an NVIDIA GTX680.
+* Gigabit Ethernet + QDR InfiniBand (experiments use IP over InfiniBand).
+
+Throughput figures are *effective* numbers calibrated so the paper's
+ratios hold (GPU ≈ 20x CPU for the K-Means kernel, disk ≈ 0.18 GB/s,
+IPoIB ≈ 1.2 GB/s, ...); see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.hw.specs import (
+    ClusterSpec,
+    DeviceKind,
+    DeviceSpec,
+    DiskSpec,
+    GiB,
+    NetworkSpec,
+    NodeSpec,
+)
+
+__all__ = [
+    "CPU_TYPE1",
+    "CPU_TYPE2",
+    "GTX480",
+    "K20M",
+    "GTX680",
+    "XEON_PHI",
+    "DISK_TYPE1",
+    "DISK_TYPE2",
+    "GBE",
+    "QDR_IB",
+    "type1_node",
+    "type2_node",
+    "das4_cluster",
+]
+
+# --------------------------------------------------------------- devices
+CPU_TYPE1 = DeviceSpec(
+    name="2x Intel Xeon E5620 (OpenCL CPU)",
+    kind=DeviceKind.CPU,
+    compute_units=16,          # 8 cores, hyperthreaded
+    gflops=19.0,
+    mem_bw=20e9,
+    transfer_bw=0.0,
+    unified_memory=True,
+    device_mem=24 * GiB,
+    launch_overhead=5e-6,
+    atomic_penalty=0.6,
+)
+
+CPU_TYPE2 = DeviceSpec(
+    name="2x Intel Xeon E5-2620 (OpenCL CPU)",
+    kind=DeviceKind.CPU,
+    compute_units=24,
+    gflops=27.0,
+    mem_bw=40e9,
+    transfer_bw=0.0,
+    unified_memory=True,
+    device_mem=64 * GiB,
+    launch_overhead=5e-6,
+    atomic_penalty=0.6,
+)
+
+GTX480 = DeviceSpec(
+    name="NVIDIA GTX480",
+    kind=DeviceKind.GPU,
+    compute_units=15 * 32,     # 15 SMs x 32 lanes
+    gflops=380.0,              # effective: ~20x CPU_TYPE1 on K-Means
+    mem_bw=140e9,
+    transfer_bw=5.5e9,         # PCIe 2.0 x16 effective
+    unified_memory=False,
+    device_mem=int(1.5 * GiB),
+    launch_overhead=25e-6,
+    atomic_penalty=1.2,        # Fermi atomics are expensive under contention
+)
+
+K20M = DeviceSpec(
+    name="NVIDIA K20m",
+    kind=DeviceKind.GPU,
+    compute_units=13 * 64,
+    gflops=700.0,
+    mem_bw=170e9,
+    transfer_bw=6.0e9,
+    unified_memory=False,
+    device_mem=5 * GiB,
+    launch_overhead=20e-6,
+    atomic_penalty=0.8,
+)
+
+GTX680 = DeviceSpec(
+    name="NVIDIA GTX680",
+    kind=DeviceKind.GPU,
+    compute_units=8 * 96,
+    gflops=550.0,
+    mem_bw=160e9,
+    transfer_bw=10.0e9,        # PCIe 3.0
+    unified_memory=False,
+    device_mem=2 * GiB,
+    launch_overhead=20e-6,
+    atomic_penalty=0.9,
+)
+
+XEON_PHI = DeviceSpec(
+    name="Intel Xeon Phi 5110P",
+    kind=DeviceKind.ACCELERATOR,
+    compute_units=60 * 4,
+    gflops=250.0,              # MapReduce kernels reach a fraction of peak
+    mem_bw=120e9,
+    transfer_bw=6.0e9,
+    unified_memory=False,
+    device_mem=8 * GiB,
+    launch_overhead=50e-6,     # MIC offload launches are costly
+    atomic_penalty=1.0,
+)
+
+# ----------------------------------------------------------------- disks
+# seek_time is scaled below the physical ~8 ms: the simulation runs the
+# paper's workloads at ~1/1000 data scale, where an unscaled positioning
+# cost would dominate every transfer and invert the paper's
+# streaming-dominated I/O balance.  0.5 ms keeps random access visibly
+# more expensive than streaming without letting fixed costs swamp the
+# scaled experiments (see EXPERIMENTS.md, "scale mapping").
+DISK_TYPE1 = DiskSpec(
+    name="2x 1TB SATA RAID-0",
+    read_bw=180e6,
+    write_bw=160e6,
+    seek_time=0.5e-3,
+    capacity=2 * 1024 * GiB,
+)
+
+DISK_TYPE2 = DiskSpec(
+    name="1TB SATA",
+    read_bw=140e6,
+    write_bw=120e6,
+    seek_time=0.5e-3,
+    capacity=1024 * GiB,
+)
+
+# -------------------------------------------------------------- networks
+GBE = NetworkSpec(name="Gigabit Ethernet", bandwidth=118e6, latency=100e-6,
+                  bisection_factor=0.8)
+QDR_IB = NetworkSpec(name="QDR InfiniBand (IPoIB)", bandwidth=1.2e9,
+                     latency=30e-6, bisection_factor=0.9)
+
+
+# ----------------------------------------------------------------- nodes
+def type1_node(gpu: bool = False, accelerator: DeviceSpec | None = None) -> NodeSpec:
+    """A DAS-4 Type-1 node, optionally with its GTX480 (or another device)."""
+    devices = [CPU_TYPE1]
+    if gpu:
+        devices.append(GTX480)
+    if accelerator is not None:
+        devices.append(accelerator)
+    return NodeSpec(
+        name="DAS4-Type1" + ("+GTX480" if gpu else "") +
+             (f"+{accelerator.name}" if accelerator else ""),
+        cores=8,
+        hw_threads=16,
+        ram=24 * GiB,
+        disk=DISK_TYPE1,
+        devices=tuple(devices),
+    )
+
+
+def type2_node(gpu: bool = True) -> NodeSpec:
+    """A DAS-4 Type-2 node with its K20m."""
+    devices = [CPU_TYPE2] + ([K20M] if gpu else [])
+    return NodeSpec(
+        name="DAS4-Type2" + ("+K20m" if gpu else ""),
+        cores=12,
+        hw_threads=24,
+        ram=64 * GiB,
+        disk=DISK_TYPE2,
+        devices=tuple(devices),
+    )
+
+
+def das4_cluster(nodes: int, node_type: int = 1, gpu: bool = False,
+                 network: NetworkSpec = QDR_IB) -> ClusterSpec:
+    """Build the paper's experimental cluster.
+
+    ``nodes`` counts *slave* nodes (the coordinator is not modeled as a
+    separate machine — like Hadoop's master it does negligible data work).
+    """
+    if nodes < 1:
+        raise ValueError("need at least one node")
+    if node_type == 1:
+        spec = type1_node(gpu=gpu)
+    elif node_type == 2:
+        spec = type2_node(gpu=gpu)
+    else:
+        raise ValueError(f"unknown DAS-4 node type {node_type}")
+    return ClusterSpec(
+        name=f"DAS4-{nodes}x{spec.name}",
+        nodes=tuple(spec for _ in range(nodes)),
+        network=network,
+    )

@@ -1,0 +1,100 @@
+"""Point-to-point transfers over a modeled interconnect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.simt.core import Simulator
+from repro.simt.resources import Resource
+from repro.simt.trace import Timeline
+
+from repro.hw.specs import NetworkSpec
+
+__all__ = ["Network", "Transfer"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """Record of one completed transfer (for tests and accounting)."""
+
+    src: int
+    dst: int
+    nbytes: int
+    start: float
+    end: float
+
+
+class Network:
+    """Shared fabric connecting ``n`` nodes with full-duplex NICs.
+
+    Each node has one TX and one RX channel at ``spec.bandwidth``; the
+    fabric itself sustains ``bisection_factor * n * bandwidth`` aggregate,
+    modeled as a pool of fabric slots.  Local (same-node) transfers are
+    free of network time but still pay a memcpy at memory bandwidth — the
+    caller decides whether to route locally.
+    """
+
+    def __init__(self, sim: Simulator, spec: NetworkSpec, n_nodes: int,
+                 timeline: Optional[Timeline] = None):
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.sim = sim
+        self.spec = spec
+        self.n_nodes = n_nodes
+        self.timeline = timeline
+        self._tx = [Resource(sim, 1, name=f"nic{t}.tx") for t in range(n_nodes)]
+        self._rx = [Resource(sim, 1, name=f"nic{r}.rx") for r in range(n_nodes)]
+        # Fabric capacity in whole-link units; >= 1 so a 1-node "cluster"
+        # still works.
+        fabric_links = max(1, int(n_nodes * spec.bisection_factor))
+        self._fabric = Resource(sim, fabric_links, name="fabric")
+        self.transfers: list[Transfer] = []
+        self.bytes_moved = 0
+
+    def send(self, src: int, dst: int, nbytes: int) -> Generator:
+        """Process-style generator: move ``nbytes`` from ``src`` to ``dst``.
+
+        Completes when the last byte has been received.  Same-node sends
+        complete immediately (the caller models any memcpy cost).
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        if src == dst or nbytes == 0:
+            return
+        start = self.sim.now
+        wire_time = nbytes / self.spec.bandwidth
+        # Store-and-forward phases: a flow never holds one endpoint while
+        # queueing for another, so all-to-all shuffles cannot convoy (and
+        # deadlock is structurally impossible).  Sender-side serialisation
+        # and receiver-side delivery each take bytes/bandwidth; incast
+        # still contends on the receiver's NIC.
+        yield self._tx[src].acquire()
+        yield self._fabric.acquire()
+        try:
+            yield self.sim.timeout(wire_time)
+        finally:
+            self._tx[src].release()
+            self._fabric.release()
+        yield self.sim.timeout(self.spec.latency)
+        yield self._rx[dst].acquire()
+        try:
+            yield self.sim.timeout(wire_time)
+        finally:
+            self._rx[dst].release()
+        self.bytes_moved += nbytes
+        record = Transfer(src, dst, nbytes, start, self.sim.now)
+        self.transfers.append(record)
+        if self.timeline is not None:
+            self.timeline.record("net.transfer", f"{src}->{dst}",
+                                 start, self.sim.now, bytes=nbytes)
+
+    def time_for(self, nbytes: int) -> float:
+        """Uncontended duration of one transfer (store-and-forward)."""
+        return self.spec.latency + 2 * nbytes / self.spec.bandwidth
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"unknown node {node} (cluster has {self.n_nodes})")

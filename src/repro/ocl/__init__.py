@@ -1,0 +1,44 @@
+"""Miniature OpenCL-style runtime over modeled devices.
+
+Glasswing requires map and reduce functions to be OpenCL kernels; since no
+OpenCL implementation is available offline, this package provides the same
+*shape* of API (platforms, contexts, in-order command queues with events,
+device buffers, NDRange kernel launches) over the device models of
+:mod:`repro.hw`.  Kernels are real Python/numpy callables — they compute
+real output — while their *duration* is charged to the virtual clock via a
+per-device analytical cost model.
+
+Key correspondences with real OpenCL:
+
+* ``CL_MEM_ALLOC_HOST_PTR`` / unified memory — CPU devices set
+  ``unified_memory``; host<->device copies become no-ops, which is exactly
+  how Glasswing disables its Stage and Retrieve pipeline stages.
+* in-order queues — each enqueued command waits for the previously
+  enqueued one, plus any explicit event dependencies.
+* device memory limits — buffer allocation beyond ``device_mem`` raises,
+  bounding the pipeline's buffering level on small-memory GPUs.
+"""
+
+from repro.ocl.kernel import Kernel, KernelCost, NDRange
+from repro.ocl.runtime import (
+    Buffer,
+    CommandQueue,
+    Context,
+    Device,
+    OCLError,
+    OCLEvent,
+    OutOfDeviceMemory,
+)
+
+__all__ = [
+    "Buffer",
+    "CommandQueue",
+    "Context",
+    "Device",
+    "Kernel",
+    "KernelCost",
+    "NDRange",
+    "OCLError",
+    "OCLEvent",
+    "OutOfDeviceMemory",
+]

@@ -1,0 +1,315 @@
+"""Contexts, devices, buffers, command queues and events."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Generator, Iterable, List, Optional
+
+from repro.hw.node import Node
+from repro.hw.specs import DeviceKind, DeviceSpec
+from repro.simt.core import Event, Simulator
+from repro.simt.resources import Resource
+
+from repro.ocl.kernel import Kernel, KernelCost
+
+__all__ = [
+    "OCLError",
+    "OutOfDeviceMemory",
+    "Device",
+    "Context",
+    "Buffer",
+    "OCLEvent",
+    "CommandQueue",
+]
+
+
+class OCLError(RuntimeError):
+    """Generic runtime error (invalid handle, bad enqueue, ...)."""
+
+
+class OutOfDeviceMemory(OCLError):
+    """Buffer allocation exceeded the device's memory capacity."""
+
+
+class Device:
+    """A compute device bound to a node.
+
+    * CPU devices execute kernels on the node's fluid-shared host threads,
+      so they contend with partitioner/merger threads.
+    * Discrete devices (GPU, Xeon Phi) have their own serial execution
+      engine and a DMA engine for host<->device transfers; they leave the
+      host threads free (the paper's Table III(b) effect).
+    """
+
+    def __init__(self, sim: Simulator, spec: DeviceSpec, node: Node):
+        self.sim = sim
+        self.spec = spec
+        self.node = node
+        self.mem_used = 0
+        self._exec_engine = Resource(sim, 1, name=f"{spec.name}.exec")
+        self._dma_engine = Resource(sim, 1, name=f"{spec.name}.dma")
+        self.kernels_launched = 0
+        self.bytes_transferred = 0
+
+    # -- memory ----------------------------------------------------------
+    def _alloc(self, nbytes: int) -> None:
+        if self.mem_used + nbytes > self.spec.device_mem:
+            raise OutOfDeviceMemory(
+                f"{self.spec.name}: {nbytes} bytes requested, "
+                f"{self.spec.device_mem - self.mem_used} free")
+        self.mem_used += nbytes
+
+    def _free(self, nbytes: int) -> None:
+        self.mem_used -= nbytes
+        if self.mem_used < 0:
+            raise OCLError("device memory accounting underflow")
+
+    # -- operations (process-style generators) -----------------------------
+    def run_kernel(self, kernel: Kernel, args: Dict[str, Any],
+                   threads: Optional[int] = None) -> Generator:
+        """Execute ``kernel`` with ``args``; yields until done, returns result.
+
+        ``threads`` overrides how many host threads a CPU-device launch
+        occupies (Glasswing's per-device tuning knob); ignored for
+        discrete devices, which always run kernels on their own engine.
+        """
+        cost = kernel.cost(self.spec, args)
+        duration = cost.time_on(self.spec)
+        result = kernel(**args)  # the real data transformation
+        self.kernels_launched += cost.launches
+        if self.spec.kind is DeviceKind.CPU:
+            # The cost model's duration assumes the full device; the total
+            # work in thread-seconds is therefore duration * compute_units.
+            # Running it over fewer threads (Glasswing's tuning knob)
+            # lengthens the launch proportionally via the fluid CPU model.
+            n = threads if threads is not None else self.spec.compute_units
+            n = max(1, min(n, self.node.cpu.capacity))
+            work = duration * self.spec.compute_units
+            yield self.node.cpu.run(n, work, tag=f"kernel:{kernel.name}")
+        else:
+            yield self._exec_engine.acquire()
+            try:
+                yield self.sim.timeout(duration)
+            finally:
+                self._exec_engine.release()
+        return result
+
+    def execute_cost(self, cost: KernelCost,
+                     threads: Optional[int] = None) -> Generator:
+        """Charge the time of a launch whose real work ran host-side.
+
+        The Glasswing phases compute their data transformations inline and
+        use this to charge the device: ``threads`` is how many device
+        work-items actually have work (reduce with few concurrent keys
+        underutilises the device; a CPU launch over fewer host threads
+        both slows down and frees cores for other stages).
+        """
+        overhead = self.spec.launch_overhead * cost.launches
+        roofline = cost.roofline_on(self.spec)
+        self.kernels_launched += cost.launches
+        if self.spec.kind is DeviceKind.CPU:
+            if overhead > 0:
+                # Kernel dispatch is serial host work.
+                yield self.node.cpu.run(1, overhead, tag="launch")
+            if roofline > 0:
+                n = threads if threads is not None else self.spec.compute_units
+                n = max(1, min(n, self.node.cpu.capacity))
+                yield self.node.cpu.run(n, roofline * self.spec.compute_units,
+                                        tag="kernel")
+        else:
+            util = 1.0
+            if threads is not None:
+                util = max(1.0 / self.spec.compute_units,
+                           min(1.0, threads / self.spec.compute_units))
+            yield self._exec_engine.acquire()
+            try:
+                yield self.sim.timeout(overhead + roofline / util)
+            finally:
+                self._exec_engine.release()
+
+    def transfer(self, nbytes: int, direction: str = "h2d") -> Generator:
+        """Move ``nbytes`` between host and device memory (no-op if unified)."""
+        if direction not in ("h2d", "d2h"):
+            raise ValueError(f"unknown transfer direction {direction!r}")
+        if self.spec.unified_memory or nbytes == 0:
+            return
+        yield self._dma_engine.acquire()
+        try:
+            yield self.sim.timeout(nbytes / self.spec.transfer_bw)
+            self.bytes_transferred += nbytes
+        finally:
+            self._dma_engine.release()
+
+    def kernel_time(self, kernel: Kernel, args: Dict[str, Any]) -> float:
+        """Uncontended duration estimate of one launch."""
+        return kernel.cost(self.spec, args).time_on(self.spec)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Device {self.spec.name!r} on node {self.node.node_id}>"
+
+
+class Context:
+    """Owns devices and the buffers allocated against them."""
+
+    def __init__(self, sim: Simulator, devices: Iterable[Device]):
+        self.sim = sim
+        self.devices: List[Device] = list(devices)
+        if not self.devices:
+            raise OCLError("a context needs at least one device")
+        self._buffers: List["Buffer"] = []
+
+    def alloc_buffer(self, device: Device, nbytes: int,
+                     name: str = "buf") -> "Buffer":
+        """Allocate ``nbytes`` of device memory on ``device``."""
+        if device not in self.devices:
+            raise OCLError("device not part of this context")
+        if nbytes < 0:
+            raise ValueError("negative buffer size")
+        device._alloc(nbytes)
+        buf = Buffer(self, device, nbytes, name)
+        self._buffers.append(buf)
+        return buf
+
+    def release(self, buf: "Buffer") -> None:
+        """Free a buffer's device memory."""
+        if buf.released:
+            raise OCLError(f"double release of buffer {buf.name!r}")
+        buf.device._free(buf.nbytes)
+        buf.released = True
+        self._buffers.remove(buf)
+
+    @property
+    def live_buffers(self) -> int:
+        return len(self._buffers)
+
+
+class Buffer:
+    """A device-memory allocation; carries arbitrary host-side payload."""
+
+    def __init__(self, context: Context, device: Device, nbytes: int, name: str):
+        self.context = context
+        self.device = device
+        self.nbytes = nbytes
+        self.name = name
+        self.released = False
+        self.payload: Any = None  # real data travelling through the pipeline
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "released" if self.released else f"{self.nbytes}B"
+        return f"<Buffer {self.name!r} {state}>"
+
+
+class OCLEvent:
+    """Completion handle with OpenCL-style profiling timestamps."""
+
+    _ids = itertools.count()
+
+    def __init__(self, sim: Simulator, label: str = ""):
+        self.id = next(self._ids)
+        self.label = label
+        self.queued: float = sim.now
+        self.started: Optional[float] = None
+        self.ended: Optional[float] = None
+        self.result: Any = None
+        self._done = Event(sim)
+
+    @property
+    def done(self) -> Event:
+        """simt event fired on completion (yieldable from processes)."""
+        return self._done
+
+    @property
+    def complete(self) -> bool:
+        return self.ended is not None
+
+    @property
+    def duration(self) -> float:
+        if self.started is None or self.ended is None:
+            raise OCLError(f"event {self.label!r} has not completed")
+        return self.ended - self.started
+
+
+class CommandQueue:
+    """In-order command queue for one device.
+
+    Every enqueued command implicitly depends on the previously enqueued
+    command (in-order semantics) and on any explicit ``wait_for`` events.
+    """
+
+    def __init__(self, context: Context, device: Device):
+        if device not in context.devices:
+            raise OCLError("device not part of context")
+        self.context = context
+        self.device = device
+        self.sim = context.sim
+        self._tail: Optional[Event] = None
+
+    # -- enqueue operations -------------------------------------------------
+    def enqueue_kernel(self, kernel: Kernel, args: Dict[str, Any],
+                       wait_for: Optional[List[OCLEvent]] = None,
+                       threads: Optional[int] = None) -> OCLEvent:
+        """Launch ``kernel``; the returned event carries the kernel result."""
+        def op() -> Generator:
+            result = yield from self.device.run_kernel(kernel, args,
+                                                       threads=threads)
+            return result
+        return self._submit(op, label=f"kernel:{kernel.name}",
+                            wait_for=wait_for)
+
+    def enqueue_write(self, buf: Buffer, payload: Any, nbytes: int,
+                      wait_for: Optional[List[OCLEvent]] = None) -> OCLEvent:
+        """Host -> device copy of ``nbytes``; stores ``payload`` in ``buf``."""
+        self._check_buffer(buf)
+        def op() -> Generator:
+            yield from self.device.transfer(nbytes, "h2d")
+            buf.payload = payload
+            return payload
+        return self._submit(op, label=f"write:{buf.name}", wait_for=wait_for)
+
+    def enqueue_read(self, buf: Buffer, nbytes: int,
+                     wait_for: Optional[List[OCLEvent]] = None) -> OCLEvent:
+        """Device -> host copy; the event's result is the buffer payload."""
+        self._check_buffer(buf)
+        def op() -> Generator:
+            yield from self.device.transfer(nbytes, "d2h")
+            return buf.payload
+        return self._submit(op, label=f"read:{buf.name}", wait_for=wait_for)
+
+    def enqueue_marker(self) -> OCLEvent:
+        """Event that fires when all previously enqueued commands finish."""
+        def op() -> Generator:
+            return
+            yield  # pragma: no cover - makes this a generator
+        return self._submit(op, label="marker")
+
+    def finish(self) -> Event:
+        """simt event fired when the queue drains (clFinish)."""
+        return self.enqueue_marker().done
+
+    # -- internals -----------------------------------------------------------
+    def _check_buffer(self, buf: Buffer) -> None:
+        if buf.released:
+            raise OCLError(f"use of released buffer {buf.name!r}")
+        if buf.device is not self.device:
+            raise OCLError("buffer belongs to a different device")
+
+    def _submit(self, op, label: str,
+                wait_for: Optional[List[OCLEvent]] = None) -> OCLEvent:
+        ev = OCLEvent(self.sim, label=label)
+        deps: List[Event] = []
+        if self._tail is not None:
+            deps.append(self._tail)
+        for dep in (wait_for or []):
+            deps.append(dep.done)
+
+        def runner() -> Generator:
+            if deps:
+                yield self.sim.all_of(deps)
+            ev.started = self.sim.now
+            result = yield from op()
+            ev.ended = self.sim.now
+            ev.result = result
+            ev._done.succeed(result)
+
+        self._tail = self.sim.process(runner(), name=f"cq:{label}")
+        return ev

@@ -1,0 +1,48 @@
+"""Discrete-event simulation kernel (simpy-style, dependency-free).
+
+The Glasswing reproduction executes *real* data transformations while
+charging their cost to a virtual clock.  This package provides the event
+loop that makes that possible:
+
+* :class:`~repro.simt.core.Simulator` — virtual clock + event heap.
+* :class:`~repro.simt.core.Process` — generator-based coroutine processes.
+* :class:`~repro.simt.resources.Resource` — FCFS token pools (CPU cores,
+  disk channels, device queues).
+* :class:`~repro.simt.resources.Store` — FIFO channels between pipeline
+  stages, with optional capacity (the pipeline's buffer interlock).
+* :class:`~repro.simt.trace.Timeline` — span recording used by the paper's
+  per-stage breakdown tables (Tables II/III, Figures 4/5).
+
+Determinism: given identical inputs, event ordering is fully deterministic
+(ties broken by a monotonically increasing sequence number).
+"""
+
+from repro.simt.core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.simt.resources import BufferPool, Resource, Semaphore, Store
+from repro.simt.trace import Span, Timeline
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BufferPool",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Semaphore",
+    "SimulationError",
+    "Simulator",
+    "Span",
+    "Store",
+    "Timeline",
+    "Timeout",
+]

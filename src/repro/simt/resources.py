@@ -1,0 +1,241 @@
+"""Synchronisation primitives: token pools, channels, semaphores, buffer pools.
+
+These model the contended resources of a cluster node:
+
+* :class:`Resource` — a FCFS pool of identical tokens.  CPU hardware
+  threads are the canonical instance: map-kernel worker threads,
+  partitioner threads and merger threads all draw from one pool, so the
+  paper's contention effects (single- vs double-buffering, GPU freeing the
+  host cores) emerge from queueing rather than hand-coded penalties.
+* :class:`Store` — FIFO channel with optional capacity; pipeline stages
+  are connected by stores.
+* :class:`Semaphore` — counting semaphore.
+* :class:`BufferPool` — a pool of indexed buffers; the Glasswing pipeline's
+  single/double/triple buffering is a :class:`BufferPool` of 1/2/3 slots
+  shared by a stage group.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.simt.core import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Store", "Semaphore", "BufferPool"]
+
+
+class Resource:
+    """FCFS pool of ``capacity`` identical tokens.
+
+    ``acquire(n)`` returns an event that fires once ``n`` tokens are
+    granted; ``release(n)`` returns them.  Requests are strictly FIFO: a
+    large request at the head blocks later small ones (no starvation).
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: Deque[tuple[Event, int]] = deque()
+
+    @property
+    def available(self) -> int:
+        """Tokens currently free."""
+        return self.capacity - self.in_use
+
+    def acquire(self, n: int = 1) -> Event:
+        """Request ``n`` tokens; the returned event fires once granted."""
+        if n < 1 or n > self.capacity:
+            raise ValueError(
+                f"cannot acquire {n} tokens from {self.name!r} "
+                f"(capacity {self.capacity})")
+        ev = Event(self.sim)
+        if not self._waiters and self.available >= n:
+            self.in_use += n
+            ev.succeed(n)
+        else:
+            self._waiters.append((ev, n))
+        return ev
+
+    def release(self, n: int = 1) -> None:
+        """Return ``n`` tokens and wake queued requests in FIFO order."""
+        if n < 1 or n > self.in_use:
+            raise SimulationError(
+                f"release({n}) on {self.name!r} with {self.in_use} in use")
+        self.in_use -= n
+        while self._waiters:
+            ev, want = self._waiters[0]
+            if self.available < want:
+                break
+            self._waiters.popleft()
+            self.in_use += want
+            ev.succeed(want)
+
+    def queue_length(self) -> int:
+        """Number of pending acquire requests."""
+        return len(self._waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Resource {self.name!r} {self.in_use}/{self.capacity} "
+                f"({len(self._waiters)} waiting)>")
+
+
+class Store:
+    """FIFO channel of items with optional capacity.
+
+    ``put(item)`` returns an event that fires once the item is accepted
+    (immediately when unbounded or below capacity); ``get()`` returns an
+    event that fires with the next item.  A ``None`` capacity means
+    unbounded.  Closing a store makes further ``get``s fail with
+    :class:`StoreClosed` once drained, which lets downstream pipeline
+    stages terminate cleanly.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None,
+                 name: str = "store"):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item: Any) -> Event:
+        """Offer ``item``; event fires when the store accepts it."""
+        if self._closed:
+            raise SimulationError(f"put() on closed store {self.name!r}")
+        ev = Event(self.sim)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Take the next item; event fires with the item.
+
+        If the store is closed and empty the event fails with
+        :class:`StoreClosed`.
+        """
+        ev = Event(self.sim)
+        if self._items:
+            item = self._items.popleft()
+            ev.succeed(item)
+            # Space freed: admit a queued putter.
+            if self._putters:
+                pev, pitem = self._putters.popleft()
+                self._items.append(pitem)
+                pev.succeed(None)
+        elif self._putters:
+            pev, pitem = self._putters.popleft()
+            ev.succeed(pitem)
+            pev.succeed(None)
+        elif self._closed:
+            ev.fail(StoreClosed(self.name))
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def close(self) -> None:
+        """Mark end-of-stream; pending and future gets on an empty store fail."""
+        if self._closed:
+            return
+        self._closed = True
+        while self._getters and not self._items:
+            self._getters.popleft().fail(StoreClosed(self.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Store {self.name!r} len={len(self._items)} closed={self._closed}>"
+
+
+class StoreClosed(Exception):
+    """Raised by :meth:`Store.get` after the store closed and drained."""
+
+    def __init__(self, name: str):
+        super().__init__(f"store {name!r} closed")
+        self.store_name = name
+
+
+class Semaphore:
+    """Counting semaphore built on :class:`Resource` (``down``/``up``)."""
+
+    def __init__(self, sim: Simulator, value: int, name: str = "sem"):
+        self._res = Resource(sim, value, name=name)
+
+    def down(self) -> Event:
+        """P(): event fires once a unit is obtained."""
+        return self._res.acquire(1)
+
+    def up(self) -> None:
+        """V(): return a unit."""
+        self._res.release(1)
+
+    @property
+    def value(self) -> int:
+        return self._res.available
+
+
+class BufferPool:
+    """Pool of ``n`` indexed buffer slots with FIFO hand-out.
+
+    Models the pipeline's data buffers: a stage group configured for
+    double buffering shares a two-slot pool; the *input* stage acquires a
+    slot, downstream stages pass it along, and the last stage of the group
+    releases it.  Slot identity (the index) is preserved so traces can show
+    which buffer a chunk occupied.
+    """
+
+    def __init__(self, sim: Simulator, slots: int, name: str = "buffers"):
+        if slots < 1:
+            raise ValueError("a buffer pool needs at least one slot")
+        self.sim = sim
+        self.name = name
+        self.slots = slots
+        self._free: Deque[int] = deque(range(slots))
+        self._waiters: Deque[Event] = deque()
+
+    def acquire(self) -> Event:
+        """Event fires with a free slot index."""
+        ev = Event(self.sim)
+        if self._free:
+            ev.succeed(self._free.popleft())
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self, slot: int) -> None:
+        """Return ``slot`` to the pool (hand it straight to a waiter if any)."""
+        if not (0 <= slot < self.slots):
+            raise SimulationError(f"unknown buffer slot {slot}")
+        if slot in self._free:
+            raise SimulationError(f"double release of buffer slot {slot}")
+        if self._waiters:
+            self._waiters.popleft().succeed(slot)
+        else:
+            self._free.append(slot)
+
+    @property
+    def available(self) -> int:
+        return len(self._free)
+
+
+__all__.append("StoreClosed")

@@ -1,0 +1,124 @@
+"""Span-based tracing of simulated activity.
+
+The paper instruments each pipeline stage with timers (Tables II and III,
+Figures 4 and 5 are all per-stage time breakdowns).  We reproduce that via
+a :class:`Timeline` that records ``Span(category, name, start, end, meta)``
+intervals in virtual time and can aggregate busy time per category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Timeline"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """A closed interval of activity on the virtual clock."""
+
+    category: str  # e.g. "map.kernel", "map.partition", "merge"
+    name: str      # instance label, e.g. node id or chunk id
+    start: float
+    end: float
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Span") -> bool:
+        """True when the two spans share a positive-length interval."""
+        return self.start < other.end and other.start < self.end
+
+
+class Timeline:
+    """Accumulates spans and computes per-category statistics."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+
+    def record(self, category: str, name: str, start: float, end: float,
+               **meta: Any) -> Span:
+        """Add a span; ``end`` must not precede ``start``."""
+        if end < start:
+            raise ValueError(f"span ends before it starts: {start} .. {end}")
+        span = Span(category, name, start, end, meta)
+        self.spans.append(span)
+        return span
+
+    def by_category(self, category: str) -> List[Span]:
+        """All spans whose category matches exactly."""
+        return [s for s in self.spans if s.category == category]
+
+    def categories(self) -> List[str]:
+        """Sorted list of distinct categories."""
+        return sorted({s.category for s in self.spans})
+
+    def busy_time(self, category: str, name: Optional[str] = None) -> float:
+        """Sum of span durations in ``category`` (optionally one instance).
+
+        This counts *work* time; overlapping spans (parallel workers) count
+        multiply.  Use :meth:`span_extent` for wall-clock extent.
+        """
+        return sum(
+            s.duration for s in self.spans
+            if s.category == category and (name is None or s.name == name))
+
+    def span_extent(self, category: str, name: Optional[str] = None) -> float:
+        """Wall-clock extent: latest end minus earliest start in category."""
+        sel = [s for s in self.spans
+               if s.category == category and (name is None or s.name == name)]
+        if not sel:
+            return 0.0
+        return max(s.end for s in sel) - min(s.start for s in sel)
+
+    def occupied_time(self, category: str, name: Optional[str] = None) -> float:
+        """Union length of the category's spans (overlap counted once).
+
+        This is the number the paper's per-stage tables report: how long
+        the stage was *active*, regardless of how many worker threads it
+        used.
+        """
+        sel = sorted(
+            ((s.start, s.end) for s in self.spans
+             if s.category == category and (name is None or s.name == name)))
+        total = 0.0
+        cur_start: Optional[float] = None
+        cur_end = 0.0
+        for start, end in sel:
+            if cur_start is None:
+                cur_start, cur_end = start, end
+            elif start <= cur_end:
+                cur_end = max(cur_end, end)
+            else:
+                total += cur_end - cur_start
+                cur_start, cur_end = start, end
+        if cur_start is not None:
+            total += cur_end - cur_start
+        return total
+
+    def first_start(self, category: str) -> float:
+        """Earliest start in category (``inf`` when empty)."""
+        sel = self.by_category(category)
+        return min((s.start for s in sel), default=float("inf"))
+
+    def last_end(self, category: str) -> float:
+        """Latest end in category (0 when empty)."""
+        sel = self.by_category(category)
+        return max((s.end for s in sel), default=0.0)
+
+    def merge(self, other: "Timeline") -> None:
+        """Absorb another timeline's spans (e.g. per-node sub-timelines)."""
+        self.spans.extend(other.spans)
+
+    def breakdown(self, prefix: str = "") -> Dict[str, float]:
+        """Occupied time per category, filtered by prefix; sorted dict."""
+        return {
+            cat: self.occupied_time(cat)
+            for cat in self.categories() if cat.startswith(prefix)
+        }
+
+    def __len__(self) -> int:
+        return len(self.spans)

@@ -1,0 +1,193 @@
+"""Record formats, key/value size schemas and the compression model.
+
+Engines move *real* Python objects through the pipeline; timing needs the
+*byte size* those objects would occupy serialized.  A :class:`KVSchema`
+provides analytic per-pair sizes (plus a real round-trippable binary codec
+used by tests to validate the estimates), and a :class:`CompressionModel`
+turns raw bytes into stored bytes plus host-CPU cost, as Glasswing keeps
+all intermediate partitions "in a serialized and compressed form".
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = [
+    "TextRecordFormat",
+    "FixedRecordFormat",
+    "KVSchema",
+    "CompressionModel",
+    "encode_pairs",
+    "decode_pairs",
+]
+
+_PAIR_OVERHEAD = 8  # two 32-bit length prefixes per serialized pair
+
+
+# ----------------------------------------------------------- record formats
+class TextRecordFormat:
+    """Newline-delimited text records (web logs, wiki dumps)."""
+
+    name = "text"
+
+    def split_records(self, data: bytes) -> List[bytes]:
+        """Split a chunk into complete-line records (drops trailing blank)."""
+        if not data:
+            return []
+        records = data.split(b"\n")
+        if records and records[-1] == b"":
+            records.pop()
+        return records
+
+    def record_bytes(self, record: bytes) -> int:
+        return len(record) + 1  # + newline
+
+
+class FixedRecordFormat:
+    """Fixed-size binary records (TeraSort's 100-byte key/value records)."""
+
+    name = "fixed"
+
+    def __init__(self, record_size: int):
+        if record_size < 1:
+            raise ValueError("record_size must be positive")
+        self.record_size = record_size
+
+    def split_records(self, data: bytes) -> List[bytes]:
+        """Split into whole records; a ragged tail is an error upstream."""
+        n = self.record_size
+        if len(data) % n:
+            raise ValueError(
+                f"chunk of {len(data)} bytes is not a multiple of {n}")
+        return [data[i:i + n] for i in range(0, len(data), n)]
+
+    def record_bytes(self, record: bytes) -> int:
+        return self.record_size
+
+
+# ------------------------------------------------------------- KV schemas
+@dataclass(frozen=True)
+class KVSchema:
+    """Analytic serialized sizes for an application's key/value types."""
+
+    name: str
+    key_bytes: Callable[[Any], int]
+    value_bytes: Callable[[Any], int]
+
+    def pair_bytes(self, key: Any, value: Any) -> int:
+        """Serialized size of one pair, including framing overhead."""
+        return self.key_bytes(key) + self.value_bytes(value) + _PAIR_OVERHEAD
+
+    def size_of(self, pairs: Iterable[Tuple[Any, Any]]) -> int:
+        """Total serialized size of a pair collection."""
+        return sum(self.pair_bytes(k, v) for k, v in pairs)
+
+
+# ------------------------------------------------------- binary pair codec
+def _to_bytes(obj: Any) -> bytes:
+    """Canonical binary form of the key/value types the apps use."""
+    if isinstance(obj, bytes):
+        return b"b" + obj
+    if isinstance(obj, str):
+        return b"s" + obj.encode("utf-8")
+    if isinstance(obj, bool):
+        return b"B" + (b"\x01" if obj else b"\x00")
+    if isinstance(obj, int):
+        return b"i" + struct.pack("<q", obj)
+    if isinstance(obj, float):
+        return b"f" + struct.pack("<d", obj)
+    if isinstance(obj, tuple):
+        parts = [_to_bytes(el) for el in obj]
+        header = struct.pack("<I", len(parts))
+        return b"t" + header + b"".join(
+            struct.pack("<I", len(p)) + p for p in parts)
+    raise TypeError(f"unsupported type for codec: {type(obj).__name__}")
+
+
+def _from_bytes(blob: bytes) -> Any:
+    tag, body = blob[:1], blob[1:]
+    if tag == b"b":
+        return body
+    if tag == b"s":
+        return body.decode("utf-8")
+    if tag == b"B":
+        return body == b"\x01"
+    if tag == b"i":
+        return struct.unpack("<q", body)[0]
+    if tag == b"f":
+        return struct.unpack("<d", body)[0]
+    if tag == b"t":
+        count = struct.unpack("<I", body[:4])[0]
+        parts = []
+        off = 4
+        for _ in range(count):
+            ln = struct.unpack("<I", body[off:off + 4])[0]
+            off += 4
+            parts.append(_from_bytes(body[off:off + ln]))
+            off += ln
+        return tuple(parts)
+    raise ValueError(f"bad codec tag {tag!r}")
+
+
+def encode_pairs(pairs: Sequence[Tuple[Any, Any]]) -> bytes:
+    """Serialize pairs to a real binary blob (round-trippable)."""
+    out = bytearray()
+    for key, value in pairs:
+        kb, vb = _to_bytes(key), _to_bytes(value)
+        out += struct.pack("<II", len(kb), len(vb))
+        out += kb
+        out += vb
+    return bytes(out)
+
+
+def decode_pairs(blob: bytes) -> Iterator[Tuple[Any, Any]]:
+    """Inverse of :func:`encode_pairs`."""
+    off = 0
+    n = len(blob)
+    while off < n:
+        klen, vlen = struct.unpack("<II", blob[off:off + 8])
+        off += 8
+        key = _from_bytes(blob[off:off + klen])
+        off += klen
+        value = _from_bytes(blob[off:off + vlen])
+        off += vlen
+        yield key, value
+
+
+# --------------------------------------------------------------- compression
+@dataclass(frozen=True)
+class CompressionModel:
+    """Cost/effect of the intermediate-data compressor.
+
+    ``ratio`` is output/input size; throughputs are per host thread.
+    A ratio of 1.0 with infinite rates models "no compression".
+    """
+
+    ratio: float = 0.45                # typical LZ-class on text kv data
+    compress_bw: float = 250e6         # bytes/s per thread
+    decompress_bw: float = 500e6
+
+    def __post_init__(self) -> None:
+        if not (0 < self.ratio <= 1.0):
+            raise ValueError("ratio must be in (0, 1]")
+        if min(self.compress_bw, self.decompress_bw) <= 0:
+            raise ValueError("compression rates must be positive")
+
+    def compressed_size(self, raw_bytes: int) -> int:
+        return int(raw_bytes * self.ratio)
+
+    def compress_seconds(self, raw_bytes: int) -> float:
+        """Single-thread CPU seconds to compress ``raw_bytes``."""
+        return raw_bytes / self.compress_bw
+
+    def decompress_seconds(self, raw_bytes: int) -> float:
+        """Single-thread CPU seconds to reinflate to ``raw_bytes``."""
+        return raw_bytes / self.decompress_bw
+
+
+NO_COMPRESSION = CompressionModel(ratio=1.0, compress_bw=1e18,
+                                  decompress_bw=1e18)
+
+__all__.append("NO_COMPRESSION")

@@ -1,0 +1,94 @@
+"""Application edge cases: skew, empty clusters, degenerate shapes."""
+
+import numpy as np
+import pytest
+
+from repro.apps import KMeansApp, MatMulApp, TeraSortApp
+from repro.apps import datagen
+from repro.core import JobConfig, run_glasswing
+from repro.hw.presets import das4_cluster
+from repro.storage.records import NO_COMPRESSION
+
+
+def test_terasort_with_skewed_keys_still_totally_ordered():
+    """Heavily skewed key distribution: the sampled range partitioner
+    still yields total order (though partitions become unbalanced)."""
+    rng = np.random.default_rng(9)
+    records = []
+    for _ in range(3_000):
+        if rng.random() < 0.8:
+            key = b"\x00" * 8 + bytes(rng.integers(0, 256, 2).tolist())
+        else:
+            key = bytes(rng.integers(0, 256, 10).tolist())
+        records.append(key + bytes(rng.integers(0, 256, 90).tolist()))
+    data = b"".join(records)
+    app = TeraSortApp.from_input(data, sample_every=37)
+    res = run_glasswing(app, {"t": data}, das4_cluster(nodes=3),
+                        JobConfig(chunk_size=30_000, output_replication=1,
+                                  compression=NO_COMPRESSION))
+    keys = [k for k, _ in res.output_pairs()]
+    assert len(keys) == 3_000
+    assert keys == sorted(keys)
+
+
+def test_terasort_all_identical_keys():
+    data = (b"K" * 10 + b"v" * 90) * 500
+    app = TeraSortApp.from_input(data, sample_every=10)
+    res = run_glasswing(app, {"t": data}, das4_cluster(nodes=2),
+                        JobConfig(chunk_size=10_000, output_replication=1,
+                                  compression=NO_COMPRESSION))
+    assert len(list(res.output_pairs())) == 500
+
+
+def test_kmeans_empty_clusters_simply_absent():
+    """Centers that attract no points produce no output pair (the
+    iterative driver keeps their previous position)."""
+    centers = np.array([[0.0, 0.0], [1e6, 1e6]], dtype=np.float32)
+    pts = np.zeros((100, 2), dtype=np.float32) + 5.0
+    app = KMeansApp(centers)
+    res = run_glasswing(app, {"p": pts.tobytes()}, das4_cluster(nodes=1),
+                        JobConfig(chunk_size=1024, storage="local"))
+    out = dict(res.output_pairs())
+    assert set(out) == {0}
+    assert np.allclose(out[0], (5.0, 5.0))
+
+
+def test_kmeans_single_point():
+    app = KMeansApp(datagen.kmeans_centers(4, 4, seed=9))
+    pt = datagen.kmeans_points(1, 4, seed=10)
+    res = run_glasswing(app, {"p": pt}, das4_cluster(nodes=2),
+                        JobConfig(chunk_size=1024, storage="local"))
+    assert len(list(res.output_pairs())) == 1
+
+
+def test_matmul_identity():
+    """A @ I == A survives the whole pipeline."""
+    n, t = 64, 32
+    rng = np.random.default_rng(11)
+    a = rng.random((n, n), dtype=np.float32)
+    eye = np.eye(n, dtype=np.float32)
+    parts = []
+    header = np.empty(3, dtype="<i4")
+    for i in range(n // t):
+        for j in range(n // t):
+            for k in range(n // t):
+                header[:] = (i, j, k)
+                parts.append(header.tobytes())
+                parts.append(np.ascontiguousarray(
+                    a[i*t:(i+1)*t, k*t:(k+1)*t]).tobytes())
+                parts.append(np.ascontiguousarray(
+                    eye[k*t:(k+1)*t, j*t:(j+1)*t]).tobytes())
+    blob = b"".join(parts)
+    app = MatMulApp(t)
+    res = run_glasswing(app, {"mm": blob}, das4_cluster(nodes=2),
+                        JobConfig(chunk_size=app.record_format.record_size,
+                                  storage="local"))
+    c = app.assemble(list(res.output_pairs()), n)
+    assert np.allclose(c, a, rtol=1e-5)
+
+
+def test_cost_scale_validation():
+    with pytest.raises(ValueError):
+        KMeansApp(datagen.kmeans_centers(4, 4), cost_scale=0)
+    with pytest.raises(ValueError):
+        MatMulApp(16, cost_scale=-1)

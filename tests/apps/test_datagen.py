@@ -1,0 +1,82 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.apps import datagen
+
+
+def test_wiki_text_size_and_shape():
+    data = datagen.wiki_text(50_000, seed=1)
+    assert 0.8 * 50_000 <= len(data) <= 1.3 * 50_000
+    assert data.endswith(b"\n")
+    words = data.split()
+    assert len(words) > 1000
+    # Zipf: the most common word should dominate.
+    from collections import Counter
+    counts = Counter(words)
+    top = counts.most_common(1)[0][1]
+    assert top > len(words) * 0.05
+
+
+def test_wiki_text_deterministic():
+    assert datagen.wiki_text(10_000, seed=3) == datagen.wiki_text(10_000, seed=3)
+    assert datagen.wiki_text(10_000, seed=3) != datagen.wiki_text(10_000, seed=4)
+
+
+def test_web_logs_sparse_keys():
+    data = datagen.web_logs(100_000, seed=2)
+    lines = data.strip().split(b"\n")
+    urls = [l.split()[1] for l in lines]
+    # Sparse: most URLs unique ("duplicate URLs are rare").
+    assert len(set(urls)) > 0.7 * len(urls)
+    for line in lines[:20]:
+        fields = line.split()
+        assert len(fields) == 4
+        assert fields[0] == b"en"
+
+
+def test_teragen_record_structure():
+    data = datagen.teragen(500, seed=3)
+    assert len(data) == 500 * 100
+    # Keys should be highly distinct.
+    keys = {data[i:i + 10] for i in range(0, len(data), 100)}
+    assert len(keys) > 490
+
+
+def test_kmeans_points_layout():
+    blob = datagen.kmeans_points(100, 4, seed=4)
+    pts = np.frombuffer(blob, dtype=np.float32).reshape(100, 4)
+    assert pts.shape == (100, 4)
+    assert (pts >= 0).all() and (pts <= 100).all()
+
+
+def test_kmeans_centers_shape():
+    c = datagen.kmeans_centers(16, 8, seed=5)
+    assert c.shape == (16, 8)
+    assert c.dtype == np.float32
+
+
+def test_matmul_tasks_cover_all_partials():
+    blob, a, b = datagen.matmul_tasks(64, 16, seed=6)
+    rec = datagen.matmul_record_size(16)
+    assert len(blob) == rec * (64 // 16) ** 3
+    # First record header is (0, 0, 0).
+    hdr = np.frombuffer(blob[:12], dtype="<i4")
+    assert tuple(hdr) == (0, 0, 0)
+
+
+def test_matmul_tile_extraction_correct():
+    blob, a, b = datagen.matmul_tasks(32, 16, seed=7)
+    rec = datagen.matmul_record_size(16)
+    first = blob[:rec]
+    tiles = np.frombuffer(first, dtype=np.float32, offset=12)
+    a00 = tiles[:256].reshape(16, 16)
+    b00 = tiles[256:].reshape(16, 16)
+    assert np.array_equal(a00, a[:16, :16])
+    assert np.array_equal(b00, b[:16, :16])
+
+
+def test_matmul_size_must_divide():
+    with pytest.raises(ValueError):
+        datagen.matmul_tasks(100, 33)

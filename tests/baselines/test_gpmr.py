@@ -1,0 +1,109 @@
+"""Behavioural tests for the GPMR-like baseline engine."""
+
+import pytest
+
+from repro.apps import KMeansApp, MatMulApp
+from repro.apps import datagen
+from repro.baselines.gpmr import (GPMRConfig, IntermediateDataTooLarge,
+                                  run_gpmr)
+from repro.baselines.reference import run_reference
+from repro.core import JobConfig, run_glasswing
+from repro.hw.presets import das4_cluster
+from repro.hw.specs import DeviceKind
+
+from tests.conftest import assert_outputs_match
+
+
+@pytest.fixture(scope="module")
+def km_setup():
+    pts = datagen.kmeans_points(120_000, 4, seed=41)
+    centers = datagen.kmeans_centers(128, 4, seed=42)
+    return {"pts": pts}, centers
+
+
+def test_requires_gpu_nodes(km_setup):
+    inputs, centers = km_setup
+    with pytest.raises(ValueError, match="GPU"):
+        run_gpmr(KMeansApp(centers), inputs, das4_cluster(nodes=2, gpu=False))
+
+
+def test_output_matches_reference(km_setup):
+    inputs, centers = km_setup
+    app = KMeansApp(centers)
+    res = run_gpmr(app, inputs, das4_cluster(nodes=2, gpu=True),
+                   GPMRConfig(chunk_size=262_144))
+    assert_outputs_match(res.output_pairs(), run_reference(app, inputs))
+
+
+def test_total_time_is_io_plus_compute(km_setup):
+    """The paper's Fig 3(e) decomposition: 'GPMR first reads all data,
+    then starts its computation pipeline; its total time is the sum of
+    computation and I/O'."""
+    inputs, centers = km_setup
+    res = run_gpmr(KMeansApp(centers), inputs,
+                   das4_cluster(nodes=2, gpu=True),
+                   GPMRConfig(chunk_size=262_144))
+    assert res.io_time > 0
+    assert res.compute_time > 0
+    assert res.job_time == pytest.approx(res.io_time + res.compute_time)
+
+
+def test_glasswing_overlap_beats_gpmr(km_setup):
+    """Fig 3(e): Glasswing's total ~ max(io, compute); GPMR's = sum."""
+    inputs, centers = km_setup
+    app = KMeansApp(centers)
+    cluster = das4_cluster(nodes=2, gpu=True)
+    gp = run_gpmr(app, inputs, cluster, GPMRConfig(chunk_size=262_144))
+    gw = run_glasswing(app, inputs, cluster,
+                       JobConfig(chunk_size=262_144, storage="local",
+                                 device=DeviceKind.GPU))
+    assert gw.job_time < gp.job_time
+
+
+def test_compute_factor_models_adapted_kmeans(km_setup):
+    """Fig 3(c): the adapted large-center GPMR KM is inefficient."""
+    inputs, centers = km_setup
+    app = KMeansApp(centers)
+    cluster = das4_cluster(nodes=2, gpu=True)
+    normal = run_gpmr(app, inputs, cluster, GPMRConfig(chunk_size=262_144))
+    adapted = run_gpmr(app, inputs, cluster,
+                       GPMRConfig(chunk_size=262_144, compute_factor=8.0))
+    assert adapted.job_time > 2 * normal.job_time
+
+
+def test_intermediate_data_must_fit_in_host_memory():
+    """'It is limited to processing data sets where intermediate data
+    fits in host memory.'"""
+    pts = datagen.kmeans_points(50_000, 4, seed=43)
+    app = KMeansApp(datagen.kmeans_centers(16, 4, seed=44))
+    cluster = das4_cluster(nodes=1, gpu=True)
+    with pytest.raises(IntermediateDataTooLarge):
+        run_gpmr(app, {"pts": pts}, cluster,
+                 GPMRConfig(chunk_size=262_144,
+                            host_memory_fraction=1e-7))
+
+
+def test_skip_input_io_excludes_read_time():
+    """GPMR's MM 'does not read its input matrices from files'."""
+    blob, a, b = datagen.matmul_tasks(128, 32, seed=45)
+    app = MatMulApp(32)
+    cluster = das4_cluster(nodes=1, gpu=True)
+    chunk = app.record_format.record_size * 4
+    with_io = run_gpmr(app, {"mm": blob}, cluster,
+                       GPMRConfig(chunk_size=chunk))
+    without = run_gpmr(app, {"mm": blob}, cluster,
+                       GPMRConfig(chunk_size=chunk, skip_input_io=True))
+    assert without.io_time < with_io.io_time
+
+
+def test_skip_reduce_leaves_partials_unaggregated():
+    """GPMR's MM 'does not aggregate the partial submatrices'."""
+    blob, a, b = datagen.matmul_tasks(64, 16, seed=46)
+    app = MatMulApp(16)
+    cluster = das4_cluster(nodes=1, gpu=True)
+    chunk = app.record_format.record_size * 4
+    res = run_gpmr(app, {"mm": blob}, cluster,
+                   GPMRConfig(chunk_size=chunk, skip_reduce=True))
+    pairs = list(res.output_pairs())
+    # 4x4x4 partial products, none summed.
+    assert len(pairs) == 64

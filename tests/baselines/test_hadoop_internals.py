@@ -1,0 +1,71 @@
+"""Tests for Hadoop engine internals: scheduling, slow-start, stealing."""
+
+import pytest
+
+from repro.apps import WordCountApp
+from repro.apps.datagen import wiki_text
+from repro.baselines.hadoop import HadoopConfig, run_hadoop
+from repro.hw.presets import das4_cluster
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    return {"wiki": wiki_text(1_000_000, seed=81)}
+
+
+def test_slowstart_zero_starts_fetching_early(inputs):
+    """With slowstart=0 reducers begin pulling as soon as the first map
+    finishes; with slowstart=1 they wait for all maps."""
+    eager = run_hadoop(WordCountApp(), inputs, das4_cluster(nodes=2),
+                       HadoopConfig(chunk_size=65_536, slowstart=0.0))
+    lazy = run_hadoop(WordCountApp(), inputs, das4_cluster(nodes=2),
+                      HadoopConfig(chunk_size=65_536, slowstart=1.0))
+    # Earliest fetch relative to map-phase end: eager fetches overlap the
+    # map phase, lazy ones cannot.
+    eager_first = min(s.start for s in
+                      eager.timeline.by_category("hadoop.fetch"))
+    lazy_first = min(s.start for s in
+                     lazy.timeline.by_category("hadoop.fetch"))
+    assert eager_first < eager.map_phase_time
+    assert lazy_first >= lazy.map_phase_time - 1e-9
+
+
+def test_work_stealing_drains_all_splits(inputs):
+    """Even with skewed locality, every split runs exactly once."""
+    res = run_hadoop(WordCountApp(), inputs, das4_cluster(nodes=4),
+                     HadoopConfig(chunk_size=32_768))
+    spans = res.timeline.by_category("hadoop.map_task")
+    split_ids = sorted(s.meta["split"] for s in spans)
+    assert split_ids == list(range(len(split_ids)))  # each exactly once
+
+
+def test_map_tasks_spread_over_nodes(inputs):
+    res = run_hadoop(WordCountApp(), inputs, das4_cluster(nodes=4),
+                     HadoopConfig(chunk_size=32_768))
+    nodes = {s.name for s in res.timeline.by_category("hadoop.map_task")}
+    assert len(nodes) == 4
+
+
+def test_reducer_count_scales_with_cluster(inputs):
+    small = run_hadoop(WordCountApp(), inputs, das4_cluster(nodes=1),
+                       HadoopConfig(chunk_size=65_536, reduce_slots=2))
+    big = run_hadoop(WordCountApp(), inputs, das4_cluster(nodes=4),
+                     HadoopConfig(chunk_size=65_536, reduce_slots=2))
+    assert len(small.output) == 2
+    assert len(big.output) == 8
+
+
+def test_parallel_copies_speed_up_shuffle(inputs):
+    serial = run_hadoop(WordCountApp(), inputs, das4_cluster(nodes=4),
+                        HadoopConfig(chunk_size=32_768, parallel_copies=1))
+    parallel = run_hadoop(WordCountApp(), inputs, das4_cluster(nodes=4),
+                          HadoopConfig(chunk_size=32_768, parallel_copies=8))
+    assert parallel.job_time <= serial.job_time
+
+
+def test_jvm_factor_slows_compute(inputs):
+    fast = run_hadoop(WordCountApp(), inputs, das4_cluster(nodes=2),
+                      HadoopConfig(chunk_size=65_536, jvm_factor=1.0))
+    slow = run_hadoop(WordCountApp(), inputs, das4_cluster(nodes=2),
+                      HadoopConfig(chunk_size=65_536, jvm_factor=4.0))
+    assert slow.job_time > fast.job_time

@@ -1,0 +1,46 @@
+"""Tests for Hadoop's speculative execution (disabled in the paper)."""
+
+from repro.apps import WordCountApp
+from repro.apps.datagen import wiki_text
+from repro.baselines.hadoop import HadoopConfig, run_hadoop
+from repro.baselines.reference import run_reference
+from repro.hw.presets import das4_cluster
+
+from tests.conftest import assert_outputs_match
+
+
+def test_default_matches_paper_config():
+    assert HadoopConfig().speculative is False
+
+
+def test_disabled_speculation_runs_no_duplicates():
+    inputs = {"wiki": wiki_text(300_000, seed=121)}
+    res = run_hadoop(WordCountApp(), inputs, das4_cluster(nodes=2),
+                     HadoopConfig(chunk_size=65_536))
+    assert res.stats["speculative_attempts"] == 0
+    assert res.stats["speculative_wasted"] == 0
+
+
+def test_speculation_duplicates_stragglers_without_breaking_output():
+    """Few splits + many idle slots: speculation fires; output unchanged."""
+    inputs = {"wiki": wiki_text(600_000, seed=122)}
+    ref = run_reference(WordCountApp(), inputs)
+    res = run_hadoop(WordCountApp(), inputs, das4_cluster(nodes=2),
+                     HadoopConfig(chunk_size=262_144, speculative=True))
+    # 3 splits vs 32 slots: idle slots must have speculated.
+    assert res.stats["speculative_attempts"] > 0
+    assert_outputs_match(res.output_pairs(), ref)
+    # Each original map task still completed exactly once.
+    assert res.stats["map_tasks"] >= 3
+
+
+def test_losing_attempts_are_discarded():
+    inputs = {"wiki": wiki_text(600_000, seed=123)}
+    res = run_hadoop(WordCountApp(), inputs, das4_cluster(nodes=2),
+                     HadoopConfig(chunk_size=262_144, speculative=True))
+    # Duplicates that lost the race are accounted as waste, and the
+    # reducers saw each split's segments exactly once.
+    keys = [k for k, _ in res.output_pairs()]
+    assert len(keys) == len(set(keys))
+    ref = run_reference(WordCountApp(), inputs)
+    assert_outputs_match(res.output_pairs(), ref)

@@ -1,0 +1,78 @@
+"""Tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.bench.gantt import render_gantt
+from repro.simt import Timeline
+
+
+def make_timeline():
+    tl = Timeline()
+    tl.record("map.input", "node0", 0.0, 5.0)
+    tl.record("map.kernel", "node0", 2.0, 10.0)
+    tl.record("map.output", "node0", 8.0, 10.0)
+    tl.record("reduce.kernel", "node0", 11.0, 12.0)
+    tl.record("map.kernel", "node1", 0.0, 20.0)
+    return tl
+
+
+def test_renders_one_row_per_category():
+    out = render_gantt(make_timeline(), prefix="map.", node="node0")
+    lines = out.splitlines()
+    assert len(lines) == 4  # header + 3 categories
+    assert any(l.startswith("map.input") for l in lines)
+    assert any(l.startswith("map.kernel") for l in lines)
+    assert "reduce.kernel" not in out
+
+
+def test_full_interval_is_solid():
+    tl = Timeline()
+    tl.record("x", "n", 0.0, 10.0)
+    out = render_gantt(tl, width=10)
+    row = out.splitlines()[1]
+    assert row.endswith("█" * 10)
+
+
+def test_idle_cells_are_dots():
+    tl = Timeline()
+    tl.record("x", "n", 0.0, 1.0)
+    tl.record("x", "n", 9.0, 10.0)
+    out = render_gantt(tl, width=10)
+    row = out.splitlines()[1].split()[-1]
+    assert "·" in row
+
+
+def test_node_filter():
+    out0 = render_gantt(make_timeline(), prefix="map.", node="node0")
+    out1 = render_gantt(make_timeline(), prefix="map.", node="node1")
+    assert "map.input" in out0
+    assert "map.input" not in out1  # node1 only has kernel spans
+
+
+def test_explicit_categories():
+    out = render_gantt(make_timeline(), categories=["map.kernel"],
+                       node="node0")
+    assert out.count("map.") == 1
+
+
+def test_empty_selection():
+    assert render_gantt(Timeline()) == "(no spans to render)"
+
+
+def test_width_validation():
+    with pytest.raises(ValueError):
+        render_gantt(make_timeline(), width=2)
+
+
+def test_real_job_timeline_renders():
+    from repro.apps import WordCountApp
+    from repro.apps.datagen import wiki_text
+    from repro.core import JobConfig, run_glasswing
+    from repro.hw.presets import das4_cluster
+
+    res = run_glasswing(WordCountApp(), {"f": wiki_text(200_000, seed=151)},
+                        das4_cluster(nodes=1),
+                        JobConfig(chunk_size=32_768, storage="local"))
+    out = render_gantt(res.timeline, prefix="map.", node="node0")
+    assert "map.kernel" in out
+    assert len(out.splitlines()) >= 4

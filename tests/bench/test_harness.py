@@ -1,0 +1,93 @@
+"""Tests for the experiment harness (tables, checks, reports)."""
+
+import pytest
+
+from repro.bench.harness import (ExperimentReport, ShapeCheck, Table,
+                                 fmt_seconds, parallel_efficiency, speedups)
+
+
+# ------------------------------------------------------------------ Table
+def test_table_rendering_aligns():
+    t = Table("demo", ["nodes", "time_s"])
+    t.add_row(nodes=1, time_s=1.2345)
+    t.add_row(nodes=64, time_s=0.001234)
+    out = t.render()
+    assert "demo" in out
+    assert "nodes" in out and "time_s" in out
+    assert "1.23" in out
+    assert "0.0012" in out
+
+
+def test_table_rejects_unknown_columns():
+    t = Table("x", ["a"])
+    with pytest.raises(KeyError):
+        t.add_row(b=1)
+
+
+def test_table_column_extraction():
+    t = Table("x", ["a", "b"])
+    t.add_row(a=1, b=2)
+    t.add_row(a=3)
+    assert t.column("a") == [1, 3]
+    assert t.column("b") == [2, None]
+    with pytest.raises(KeyError):
+        t.column("c")
+
+
+def test_fmt_seconds_scales():
+    assert fmt_seconds(0) == "0"
+    assert fmt_seconds(123.456) == "123"
+    assert fmt_seconds(1.5) == "1.50"
+    assert fmt_seconds(0.01234) == "0.0123"
+    assert fmt_seconds(7) == "7"          # ints stay ints
+    assert fmt_seconds("label") == "label"
+
+
+# ----------------------------------------------------------------- checks
+def test_report_check_accumulates():
+    rep = ExperimentReport("Exp", "claim")
+    rep.check("good", True)
+    rep.check("bad", False, "detail here")
+    assert not rep.all_passed
+    assert len(rep.failed_checks()) == 1
+    assert "detail here" in str(rep.failed_checks()[0])
+
+
+def test_report_assert_shape_raises_on_failure():
+    rep = ExperimentReport("Exp", "claim")
+    rep.check("bad", False)
+    with pytest.raises(AssertionError, match="Exp"):
+        rep.assert_shape()
+
+
+def test_report_assert_shape_passes():
+    rep = ExperimentReport("Exp", "claim")
+    rep.check("good", True)
+    rep.assert_shape()
+
+
+def test_report_render_contains_everything():
+    rep = ExperimentReport("Figure X", "the claim")
+    t = Table("numbers", ["v"])
+    t.add_row(v=42)
+    rep.tables.append(t)
+    rep.check("a check", True, "info")
+    rep.notes.append("a note")
+    out = rep.render()
+    for fragment in ("Figure X", "the claim", "numbers", "42",
+                     "[PASS] a check", "note: a note"):
+        assert fragment in out
+
+
+# ---------------------------------------------------------------- helpers
+def test_speedups_relative_to_first():
+    assert speedups([10.0, 5.0, 2.5]) == [1.0, 2.0, 4.0]
+    assert speedups([]) == []
+
+
+def test_parallel_efficiency():
+    # Perfect scaling 1 -> 4 nodes: efficiency 1.0.
+    assert parallel_efficiency([1, 4], [8.0, 2.0]) == pytest.approx(1.0)
+    # Half-efficient.
+    assert parallel_efficiency([1, 4], [8.0, 4.0]) == pytest.approx(0.5)
+    assert parallel_efficiency([2], [1.0]) == 1.0

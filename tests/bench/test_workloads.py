@@ -1,0 +1,51 @@
+"""Tests for the standard bench workloads."""
+
+import numpy as np
+
+from repro.bench import workloads
+
+
+def test_inputs_are_cached():
+    a = workloads.wc_input()
+    b = workloads.wc_input()
+    assert a is b  # lru_cache: same object, no regeneration
+
+
+def test_sizes_match_declared_scale():
+    assert abs(len(workloads.wc_input()["wiki"]) - workloads.WC_BYTES) \
+        < 0.3 * workloads.WC_BYTES
+    assert len(workloads.ts_input()["teragen"]) == workloads.TS_RECORDS * 100
+    pts = workloads.km_points()
+    assert len(pts["points"]) == workloads.KM_POINTS * workloads.KM_DIMS * 4
+
+
+def test_km_app_paper_operating_point():
+    app = workloads.km_app_paper()
+    assert app.k == workloads.KM_CENTERS_REAL
+    assert app.cost_scale == workloads.KM_COST_SCALE
+    # Effective center count equals the paper's 4096.
+    assert app.k * app.cost_scale == workloads.KM_CENTERS_PAPER
+
+
+def test_mm_app_paper_operating_point():
+    app = workloads.mm_app_paper()
+    assert app.tile == workloads.MM_TILE
+    assert app.cost_scale == workloads.MM_COST_SCALE
+
+
+def test_mm_input_is_consistent():
+    inputs, a, b = workloads.mm_input(256, 128)
+    app_rec = 12 + 2 * 128 * 128 * 4
+    tasks = (256 // 128) ** 3
+    assert len(inputs["tasks"]) == app_rec * tasks
+    assert a.shape == (256, 256) and b.dtype == np.float32
+
+
+def test_cost_scale_multiplies_kernel_flops():
+    from repro.apps import KMeansApp
+    from repro.hw.presets import CPU_TYPE1
+    centers = workloads.km_centers(16)
+    plain = KMeansApp(centers).map_cost(CPU_TYPE1, 100, 1600)
+    scaled = KMeansApp(centers, cost_scale=4.0).map_cost(CPU_TYPE1, 100, 1600)
+    assert scaled.flops == 4 * plain.flops
+    assert scaled.device_bytes == plain.device_bytes  # bytes unchanged

@@ -1,0 +1,134 @@
+"""Tests for the emit-style API, per-phase devices and the KM driver."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datagen import kmeans_centers, kmeans_points, wiki_text
+from repro.apps.drivers import kmeans_iterate
+from repro.baselines.reference import run_reference
+from repro.core import JobConfig, run_glasswing
+from repro.core.api import Emitter, RecordMapReduceApp
+from repro.hw.presets import das4_cluster
+from repro.hw.specs import DeviceKind, KiB
+from repro.ocl.kernel import KernelCost
+from repro.storage.records import KVSchema
+
+from tests.conftest import assert_outputs_match
+
+
+# ------------------------------------------------- emit-style kernel API
+class LineLengthApp(RecordMapReduceApp):
+    """Toy emit-style app: histogram of line lengths."""
+
+    name = "linelen"
+    inter_schema = KVSchema("ll", key_bytes=lambda k: 8,
+                            value_bytes=lambda v: 4)
+    output_schema = KVSchema("ll-out", key_bytes=lambda k: 8,
+                             value_bytes=lambda v: 8)
+    has_combiner = True
+
+    def map_record(self, record, emit):
+        emit(len(record), 1)
+
+    def combine(self, key, values):
+        return [sum(values)]
+
+    def reduce(self, key, values):
+        return [(key, sum(values))]
+
+    def map_cost(self, device, n_records, in_bytes):
+        return KernelCost(flops=10.0 * n_records)
+
+    def reduce_cost(self, device, n_keys, n_values):
+        return KernelCost(flops=4.0 * n_values, launches=0)
+
+
+def test_emitter_collects_pairs():
+    e = Emitter()
+    e(b"a", 1)
+    e.emit(b"b", 2)
+    assert e.pairs == [(b"a", 1), (b"b", 2)]
+
+
+def test_record_app_map_batch_wraps_map_record():
+    app = LineLengthApp()
+    assert app.map_batch([b"ab", b"xyz", b"ab"]) == [(2, 1), (3, 1), (2, 1)]
+
+
+def test_record_app_runs_end_to_end():
+    inputs = {"f": wiki_text(100_000, seed=201)}
+    app = LineLengthApp()
+    res = run_glasswing(app, inputs, das4_cluster(nodes=2),
+                        JobConfig(chunk_size=16 * KiB))
+    assert_outputs_match(res.output_pairs(), run_reference(app, inputs))
+
+
+def test_record_app_requires_map_record():
+    class Empty(RecordMapReduceApp):
+        pass
+
+    with pytest.raises(NotImplementedError):
+        Empty().map_batch([b"x"])
+
+
+# --------------------------------------------------- per-phase devices
+def test_split_devices_map_gpu_reduce_cpu():
+    pts = kmeans_points(30_000, 4, seed=202)
+    from repro.apps import KMeansApp
+    app = KMeansApp(kmeans_centers(64, 4, seed=203))
+    cfg = JobConfig(chunk_size=64 * KiB, storage="local",
+                    map_device=DeviceKind.GPU,
+                    reduce_device=DeviceKind.CPU)
+    res = run_glasswing(app, {"p": pts}, das4_cluster(nodes=1, gpu=True),
+                        cfg)
+    # Map staged to the GPU; reduce ran host-side (no transfers traced).
+    assert res.metrics.stage_time("map", "stage", "node0") > 0
+    assert res.metrics.stage_time("reduce", "stage", "node0") == 0.0
+    ref = run_reference(app, {"p": pts})
+    assert_outputs_match(res.output_pairs(), ref)
+
+
+def test_effective_device_defaults():
+    cfg = JobConfig()
+    assert cfg.effective_map_device is DeviceKind.CPU
+    assert cfg.effective_reduce_device is DeviceKind.CPU
+    cfg2 = JobConfig(device=DeviceKind.GPU, reduce_device=DeviceKind.CPU)
+    assert cfg2.effective_map_device is DeviceKind.GPU
+    assert cfg2.effective_reduce_device is DeviceKind.CPU
+
+
+# -------------------------------------------------- iterative k-means
+def test_kmeans_iterate_converges():
+    rng = np.random.default_rng(7)
+    # Two well-separated blobs: k-means must converge quickly.
+    blob_a = rng.normal(10.0, 1.0, size=(2_000, 2)).astype(np.float32)
+    blob_b = rng.normal(50.0, 1.0, size=(2_000, 2)).astype(np.float32)
+    points = np.vstack([blob_a, blob_b])
+    rng.shuffle(points)
+    initial = np.array([[0.0, 0.0], [100.0, 100.0]], dtype=np.float32)
+    run = kmeans_iterate({"pts": points.tobytes()}, initial,
+                         das4_cluster(nodes=2),
+                         JobConfig(chunk_size=16 * KiB, storage="local"),
+                         max_iterations=12, tolerance=1e-2)
+    assert run.iterations < 12, "did not converge on separable blobs"
+    found = sorted(run.centers.tolist())
+    assert np.allclose(found[0], [10, 10], atol=1.0)
+    assert np.allclose(found[1], [50, 50], atol=1.0)
+    assert run.total_time > 0
+    assert len(run.shifts) == run.iterations
+    assert run.shifts[-1] < 1e-2
+
+
+def test_kmeans_iterate_respects_budget():
+    pts = kmeans_points(2_000, 4, seed=204)
+    run = kmeans_iterate({"p": pts}, kmeans_centers(8, 4, seed=205),
+                         das4_cluster(nodes=1),
+                         JobConfig(chunk_size=16 * KiB, storage="local"),
+                         max_iterations=2, tolerance=0.0)
+    assert run.iterations == 2
+
+
+def test_kmeans_iterate_validation():
+    with pytest.raises(ValueError):
+        kmeans_iterate({}, np.zeros((2, 2), dtype=np.float32),
+                       das4_cluster(nodes=1), max_iterations=0)

@@ -1,0 +1,77 @@
+"""Tests for task-failure injection and re-execution (§III-E extension)."""
+
+import pytest
+
+from repro.apps import WordCountApp
+from repro.apps.datagen import wiki_text
+from repro.baselines.reference import run_reference
+from repro.core import JobConfig, run_glasswing
+from repro.core.faults import FaultInjector
+from repro.hw.presets import das4_cluster
+
+from tests.conftest import assert_outputs_match
+
+CHUNK = 65_536
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    return {"wiki": wiki_text(400_000, seed=51)}
+
+
+def run(inputs, faults=None, **cfg):
+    return run_glasswing(WordCountApp(), inputs, das4_cluster(nodes=2),
+                         JobConfig(chunk_size=CHUNK, **cfg), faults=faults)
+
+
+def test_injector_validation():
+    with pytest.raises(ValueError):
+        FaultInjector(progress_at_failure=1.5)
+    with pytest.raises(ValueError):
+        FaultInjector(fail_counts={0: -1})
+
+
+def test_injector_plan_semantics():
+    inj = FaultInjector(fail_counts={3: 2})
+    assert inj.should_fail(3, 0)
+    assert inj.should_fail(3, 1)
+    assert not inj.should_fail(3, 2)
+    assert not inj.should_fail(0, 0)
+
+
+def test_output_correct_despite_failures(inputs):
+    ref = run_reference(WordCountApp(), inputs)
+    faults = FaultInjector(fail_counts={0: 1, 2: 2, 5: 1})
+    res = run(inputs, faults=faults)
+    assert_outputs_match(res.output_pairs(), ref)
+    assert faults.total_failures == 4
+
+
+def test_failures_cost_time(inputs):
+    clean = run(inputs)
+    faults = FaultInjector(fail_counts={i: 1 for i in range(6)})
+    failed = run(inputs, faults=faults)
+    assert failed.job_time > clean.job_time
+    assert faults.wasted_seconds > 0
+
+
+def test_failures_recorded_in_timeline(inputs):
+    faults = FaultInjector(fail_counts={1: 3})
+    res = run(inputs, faults=faults)
+    spans = res.timeline.by_category("map.task_failure")
+    assert len(spans) == 3
+    assert all(s.meta["split"] == 1 for s in spans)
+    assert [s.meta["attempt"] for s in spans] == [0, 1, 2]
+
+
+def test_failure_free_plan_is_noop(inputs):
+    clean = run(inputs)
+    with_empty = run(inputs, faults=FaultInjector())
+    assert with_empty.job_time == pytest.approx(clean.job_time)
+
+
+def test_zero_progress_failures_waste_nothing(inputs):
+    faults = FaultInjector(fail_counts={0: 1}, progress_at_failure=0.0)
+    run(inputs, faults=faults)
+    # A task that dies instantly wastes (almost) no kernel time.
+    assert faults.wasted_seconds < 1e-3

@@ -1,0 +1,109 @@
+"""Tests for record-aligned split reading (the Hadoop line protocol)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.splitread import split_text_lines
+
+
+def lines_via_splits(data: bytes, split_size: int, lookahead: int = 1 << 16):
+    """Read ``data`` as consecutive splits; concatenate their records."""
+    records = []
+    offset = 0
+    while offset < len(data):
+        end = min(offset + split_size, len(data))
+        first = offset == 0
+        base = offset - 1 if not first else 0
+        raw = data[base:end + lookahead]
+        records.extend(split_text_lines(raw, base, end, first=first))
+        offset = end
+    return records
+
+
+def test_single_split_gets_all_lines():
+    data = b"alpha\nbeta\ngamma\n"
+    assert lines_via_splits(data, 1000) == [b"alpha", b"beta", b"gamma"]
+
+
+def test_missing_trailing_newline_keeps_last_line():
+    data = b"alpha\nbeta"
+    assert lines_via_splits(data, 1000) == [b"alpha", b"beta"]
+
+
+def test_split_boundary_inside_record():
+    data = b"aaaa\nbbbb\ncccc\n"
+    # Splits of 7 bytes cut inside "bbbb": it must appear exactly once.
+    assert lines_via_splits(data, 7) == [b"aaaa", b"bbbb", b"cccc"]
+
+
+def test_split_boundary_exactly_after_newline():
+    data = b"aaaa\nbbbb\n"
+    # Split boundary at offset 5 = start of "bbbb".
+    assert lines_via_splits(data, 5) == [b"aaaa", b"bbbb"]
+
+
+def test_empty_lines_preserved():
+    data = b"a\n\nb\n"
+    assert lines_via_splits(data, 3) == [b"a", b"", b"b"]
+
+
+def test_tiny_splits():
+    data = b"one\ntwo\nthree\nfour\n"
+    for size in range(1, len(data) + 1):
+        assert lines_via_splits(data, size) == [b"one", b"two", b"three",
+                                                b"four"], size
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    lines=st.lists(st.binary(max_size=30).filter(lambda b: b"\n" not in b),
+                   min_size=0, max_size=40),
+    split_size=st.integers(min_value=1, max_value=200),
+    trailing=st.booleans(),
+)
+def test_every_record_in_exactly_one_split(lines, split_size, trailing):
+    """Property: concatenating all splits' records == the file's records."""
+    data = b"\n".join(lines)
+    if trailing and lines:
+        data += b"\n"
+    expected = data.split(b"\n")
+    if expected and expected[-1] == b"":
+        expected.pop()
+    assert lines_via_splits(data, split_size) == expected
+
+
+# ------------------------------------------------------- oversized records
+def test_record_longer_than_lookahead_raises():
+    """A line that cannot be completed within the look-ahead window must
+    fail loudly instead of silently truncating the job's input."""
+    import pytest
+    from repro.core.splitread import RecordTooLong
+
+    long_line = b"x" * 500
+    data = b"short\n" + long_line + b"\ntail\n"
+    # Window of 100 bytes starting inside the long line, not at EOF.
+    with pytest.raises(RecordTooLong):
+        split_text_lines(data[6:106], base=6, split_end=50, first=False,
+                         at_eof=False)
+
+
+def test_unterminated_tail_is_valid_at_eof():
+    data = b"alpha\nbeta"
+    got = split_text_lines(data, base=0, split_end=len(data), first=True,
+                           at_eof=True)
+    assert got == [b"alpha", b"beta"]
+
+
+def test_oversized_record_detected_end_to_end():
+    """Through the engine: one giant line > LOOKAHEAD crashes the job."""
+    import pytest
+    from repro.apps import WordCountApp
+    from repro.core import JobConfig, run_glasswing
+    from repro.core.splitread import LOOKAHEAD, RecordTooLong
+    from repro.hw.presets import das4_cluster
+
+    giant = b"word " * (LOOKAHEAD // 4) + b"\n"  # one ~10 KiB-word line
+    data = (b"normal line\n" * 400) + giant + (b"more lines\n" * 400)
+    with pytest.raises(RecordTooLong):
+        run_glasswing(WordCountApp(), {"f": data}, das4_cluster(nodes=1),
+                      JobConfig(chunk_size=2048, storage="local"))

@@ -1,0 +1,188 @@
+"""Tests for disk runtime, node/cluster construction and presets."""
+
+import pytest
+
+from repro.hw import Cluster, Disk, Node
+from repro.hw.presets import (
+    CPU_TYPE1,
+    DISK_TYPE1,
+    GBE,
+    GTX480,
+    QDR_IB,
+    das4_cluster,
+    type1_node,
+    type2_node,
+)
+from repro.hw.specs import DeviceKind, DiskSpec, NodeSpec
+from repro.simt import Simulator
+
+
+def test_disk_sequential_read_time():
+    sim = Simulator()
+    disk = Disk(sim, DiskSpec(name="d", read_bw=100e6, write_bw=50e6,
+                              seek_time=0.01))
+    done = []
+
+    def proc(sim):
+        yield from disk.read(100_000_000)
+        done.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert done[0] == pytest.approx(0.01 + 1.0)
+    assert disk.bytes_read == 100_000_000
+
+
+def test_disk_write_uses_write_bandwidth():
+    sim = Simulator()
+    disk = Disk(sim, DiskSpec(name="d", read_bw=100e6, write_bw=50e6,
+                              seek_time=0.0))
+
+    def proc(sim):
+        yield from disk.write(50_000_000)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert sim.now == pytest.approx(1.0)
+    assert disk.bytes_written == 50_000_000
+
+
+def test_disk_concurrent_requests_serialize():
+    sim = Simulator()
+    disk = Disk(sim, DiskSpec(name="d", read_bw=100e6, write_bw=100e6,
+                              seek_time=0.0))
+    finishes = []
+
+    def proc(sim):
+        yield from disk.read(100_000_000)
+        finishes.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.process(proc(sim))
+    sim.run()
+    assert finishes == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_disk_streaming_skips_seek():
+    sim = Simulator()
+    disk = Disk(sim, DiskSpec(name="d", read_bw=100e6, write_bw=100e6,
+                              seek_time=0.5))
+
+    def proc(sim):
+        yield from disk.read(100_000_000, stream="file-a")
+        yield from disk.read(100_000_000, stream="file-a")
+
+    sim.process(proc(sim))
+    sim.run()
+    # First read pays the seek, the contiguous follow-up does not.
+    assert sim.now == pytest.approx(0.5 + 2.0)
+
+
+def test_disk_interleaved_streams_pay_seeks():
+    sim = Simulator()
+    disk = Disk(sim, DiskSpec(name="d", read_bw=100e6, write_bw=100e6,
+                              seek_time=0.5))
+
+    def proc(sim):
+        yield from disk.read(100_000_000, stream="a")
+        yield from disk.read(100_000_000, stream="b")
+        yield from disk.read(100_000_000, stream="a")
+
+    sim.process(proc(sim))
+    sim.run()
+    assert sim.now == pytest.approx(3 * 0.5 + 3.0)
+
+
+def test_disk_zero_bytes_is_free():
+    sim = Simulator()
+    disk = Disk(sim, DISK_TYPE1)
+
+    def proc(sim):
+        yield from disk.read(0)
+        yield sim.timeout(0)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert sim.now == 0.0
+
+
+def test_disk_rejects_negative():
+    sim = Simulator()
+    disk = Disk(sim, DISK_TYPE1)
+
+    def proc(sim):
+        yield from disk.read(-1)
+
+    sim.process(proc(sim))
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+# ----------------------------------------------------------------- presets
+def test_type1_node_shape():
+    spec = type1_node(gpu=True)
+    assert spec.cores == 8
+    assert spec.hw_threads == 16
+    assert spec.has_device(DeviceKind.GPU)
+    assert spec.device(DeviceKind.GPU).name == "NVIDIA GTX480"
+    assert spec.cpu_device.unified_memory
+
+
+def test_type1_node_without_gpu():
+    spec = type1_node()
+    assert not spec.has_device(DeviceKind.GPU)
+    with pytest.raises(KeyError):
+        spec.device(DeviceKind.GPU)
+
+
+def test_type2_node_has_k20m():
+    spec = type2_node()
+    assert spec.device(DeviceKind.GPU).name == "NVIDIA K20m"
+    assert spec.hw_threads == 24
+
+
+def test_gpu_speed_ratio_calibration():
+    """GTX480 ~20x CPU on compute-bound kernels (paper: KM single-node)."""
+    ratio = GTX480.gflops / CPU_TYPE1.gflops
+    assert 15 <= ratio <= 25
+
+
+def test_node_spec_requires_cpu_device():
+    with pytest.raises(ValueError):
+        NodeSpec(name="bad", cores=4, hw_threads=8, ram=1, disk=DISK_TYPE1,
+                 devices=(GTX480,))
+
+
+def test_cluster_build():
+    spec = das4_cluster(nodes=4, gpu=True)
+    assert len(spec) == 4
+    sim = Simulator()
+    cluster = Cluster(sim, spec)
+    assert len(cluster) == 4
+    assert cluster[2].node_id == 2
+    assert cluster[0].cpu.capacity == 16
+    assert {n.node_id for n in cluster} == {0, 1, 2, 3}
+
+
+def test_cluster_network_presets():
+    assert QDR_IB.bandwidth > GBE.bandwidth * 5
+    assert QDR_IB.latency < GBE.latency
+
+
+def test_das4_rejects_bad_args():
+    with pytest.raises(ValueError):
+        das4_cluster(nodes=0)
+    with pytest.raises(ValueError):
+        das4_cluster(nodes=2, node_type=3)
+
+
+def test_node_host_work_charges_cpu():
+    sim = Simulator()
+    node = Node(sim, type1_node(), 0)
+
+    def proc(sim):
+        yield node.host_work(16, 16.0)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert sim.now == pytest.approx(1.0)

@@ -1,0 +1,64 @@
+"""Determinism: identical inputs give bit-identical simulations.
+
+The simulator breaks ties by sequence number and every data generator is
+seeded, so a job's virtual timeline is exactly reproducible — the paper's
+"we verified ... to be identical" plus reproducible *timings*, which real
+testbeds cannot offer.
+"""
+
+from repro.apps import TeraSortApp, WordCountApp
+from repro.apps.datagen import teragen, wiki_text
+from repro.baselines.gpmr import GPMRConfig, run_gpmr
+from repro.baselines.hadoop import HadoopConfig, run_hadoop
+from repro.core import JobConfig, run_glasswing
+from repro.hw.presets import das4_cluster
+from repro.storage.records import NO_COMPRESSION
+
+
+def test_glasswing_runs_are_bit_identical():
+    inputs = {"wiki": wiki_text(300_000, seed=111)}
+    cfg = JobConfig(chunk_size=65_536)
+    a = run_glasswing(WordCountApp(), inputs, das4_cluster(nodes=3), cfg)
+    b = run_glasswing(WordCountApp(), inputs, das4_cluster(nodes=3), cfg)
+    assert a.job_time == b.job_time
+    assert a.map_time == b.map_time
+    assert a.merge_delay == b.merge_delay
+    assert a.reduce_time == b.reduce_time
+    assert sorted(a.output_pairs()) == sorted(b.output_pairs())
+    assert a.stats == b.stats
+
+
+def test_hadoop_runs_are_bit_identical():
+    inputs = {"wiki": wiki_text(300_000, seed=112)}
+    cfg = HadoopConfig(chunk_size=65_536)
+    a = run_hadoop(WordCountApp(), inputs, das4_cluster(nodes=3), cfg)
+    b = run_hadoop(WordCountApp(), inputs, das4_cluster(nodes=3), cfg)
+    assert a.job_time == b.job_time
+    assert a.map_phase_time == b.map_phase_time
+
+
+def test_gpmr_runs_are_bit_identical():
+    from repro.apps import KMeansApp
+    from repro.apps.datagen import kmeans_centers, kmeans_points
+    inputs = {"p": kmeans_points(20_000, 4, seed=113)}
+    app_args = kmeans_centers(16, 4, seed=114)
+    cfg = GPMRConfig(chunk_size=65_536)
+    a = run_gpmr(KMeansApp(app_args), inputs,
+                 das4_cluster(nodes=2, gpu=True), cfg)
+    b = run_gpmr(KMeansApp(app_args), inputs,
+                 das4_cluster(nodes=2, gpu=True), cfg)
+    assert a.job_time == b.job_time
+    assert a.io_time == b.io_time
+
+
+def test_terasort_timeline_identical():
+    data = teragen(2_000, seed=115)
+    cfg = JobConfig(chunk_size=20_000, output_replication=1,
+                    compression=NO_COMPRESSION)
+    runs = [run_glasswing(TeraSortApp.from_input(data), {"t": data},
+                          das4_cluster(nodes=2), cfg) for _ in range(2)]
+    spans_a = [(s.category, s.name, s.start, s.end)
+               for s in runs[0].timeline.spans]
+    spans_b = [(s.category, s.name, s.start, s.end)
+               for s in runs[1].timeline.spans]
+    assert spans_a == spans_b

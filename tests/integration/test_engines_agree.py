@@ -1,0 +1,176 @@
+"""Cross-engine output equivalence: Glasswing == Hadoop == GPMR == reference.
+
+The paper: "We verified the output of Glasswing and Hadoop applications
+to be identical and correct."  Here every engine is checked against the
+sequential reference executor for every application.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import (KMeansApp, MatMulApp, PageViewApp, TeraSortApp,
+                        WordCountApp)
+from repro.apps import datagen
+from repro.baselines.gpmr import GPMRConfig, run_gpmr
+from repro.baselines.hadoop import HadoopConfig, run_hadoop
+from repro.baselines.reference import run_reference
+from repro.core import JobConfig, run_glasswing
+from repro.hw.presets import das4_cluster
+from repro.hw.specs import DeviceKind
+from repro.storage.records import NO_COMPRESSION
+
+from tests.conftest import assert_outputs_match
+
+CHUNK = 32_768
+
+
+@pytest.fixture(scope="module")
+def wc_inputs():
+    return {"wiki": datagen.wiki_text(300_000, seed=1)}
+
+
+@pytest.fixture(scope="module")
+def pvc_inputs():
+    return {"logs": datagen.web_logs(200_000, seed=2)}
+
+
+@pytest.fixture(scope="module")
+def km_data():
+    pts = datagen.kmeans_points(20_000, 4, seed=4)
+    centers = datagen.kmeans_centers(32, 4, seed=5)
+    return {"pts": pts}, centers
+
+
+# ----------------------------------------------------------- wordcount
+def test_wordcount_glasswing_matches_reference(wc_inputs):
+    app = WordCountApp()
+    res = run_glasswing(app, wc_inputs, das4_cluster(nodes=3),
+                        JobConfig(chunk_size=CHUNK))
+    assert_outputs_match(res.output_pairs(), run_reference(app, wc_inputs))
+
+
+def test_wordcount_hadoop_matches_reference(wc_inputs):
+    app = WordCountApp()
+    res = run_hadoop(app, wc_inputs, das4_cluster(nodes=3),
+                     HadoopConfig(chunk_size=CHUNK, jvm_startup=0.005))
+    assert_outputs_match(res.output_pairs(), run_reference(app, wc_inputs))
+
+
+def test_wordcount_all_collector_configs_agree(wc_inputs):
+    app = WordCountApp()
+    ref = run_reference(app, wc_inputs)
+    configs = [
+        JobConfig(chunk_size=CHUNK, collector="hash", use_combiner=True),
+        JobConfig(chunk_size=CHUNK, collector="hash", use_combiner=False),
+        JobConfig(chunk_size=CHUNK, collector="buffer", use_combiner=False),
+    ]
+    for cfg in configs:
+        res = run_glasswing(app, wc_inputs, das4_cluster(nodes=2), cfg)
+        assert_outputs_match(res.output_pairs(), ref)
+
+
+def test_wordcount_all_buffering_levels_agree(wc_inputs):
+    app = WordCountApp()
+    ref = run_reference(app, wc_inputs)
+    for level in (1, 2, 3):
+        res = run_glasswing(app, wc_inputs, das4_cluster(nodes=2),
+                            JobConfig(chunk_size=CHUNK, buffering=level))
+        assert_outputs_match(res.output_pairs(), ref)
+
+
+# ------------------------------------------------------------ pageview
+def test_pageview_engines_agree(pvc_inputs):
+    app = PageViewApp()
+    ref = run_reference(app, pvc_inputs)
+    gw = run_glasswing(app, pvc_inputs, das4_cluster(nodes=2),
+                       JobConfig(chunk_size=CHUNK))
+    hd = run_hadoop(app, pvc_inputs, das4_cluster(nodes=2),
+                    HadoopConfig(chunk_size=CHUNK, jvm_startup=0.005))
+    assert_outputs_match(gw.output_pairs(), ref)
+    assert_outputs_match(hd.output_pairs(), ref)
+
+
+# ------------------------------------------------------------ terasort
+def test_terasort_total_order_and_completeness():
+    data = datagen.teragen(3_000, seed=3)
+    app = TeraSortApp.from_input(data, sample_every=29)
+    res = run_glasswing(
+        app, {"tera": data}, das4_cluster(nodes=4),
+        JobConfig(chunk_size=30_000, output_replication=1,
+                  compression=NO_COMPRESSION))
+    out = list(res.output_pairs())
+    keys = [k for k, _ in out]
+    assert len(out) == 3_000
+    assert keys == sorted(keys), "output not totally ordered"
+    # Record reassembly: every original record present exactly once.
+    originals = sorted(data[i:i + 100] for i in range(0, len(data), 100))
+    rebuilt = sorted(k + v for k, v in out)
+    assert rebuilt == originals
+
+
+def test_terasort_hadoop_matches_glasswing():
+    data = datagen.teragen(2_000, seed=8)
+    app = TeraSortApp.from_input(data, sample_every=31)
+    gw = run_glasswing(app, {"t": data}, das4_cluster(nodes=2),
+                       JobConfig(chunk_size=20_000, output_replication=1,
+                                 compression=NO_COMPRESSION))
+    hd = run_hadoop(app, {"t": data}, das4_cluster(nodes=2),
+                    HadoopConfig(chunk_size=20_000, jvm_startup=0.005,
+                                 output_replication=1,
+                                 compression=NO_COMPRESSION))
+    assert_outputs_match(gw.output_pairs(), hd.output_pairs())
+
+
+# -------------------------------------------------------------- kmeans
+def test_kmeans_cpu_gpu_hadoop_gpmr_agree(km_data):
+    inputs, centers = km_data
+    app = KMeansApp(centers)
+    ref = run_reference(app, inputs)
+    gw_cpu = run_glasswing(app, inputs, das4_cluster(nodes=2),
+                           JobConfig(chunk_size=CHUNK))
+    gw_gpu = run_glasswing(app, inputs, das4_cluster(nodes=2, gpu=True),
+                           JobConfig(chunk_size=CHUNK,
+                                     device=DeviceKind.GPU, storage="local"))
+    hd = run_hadoop(app, inputs, das4_cluster(nodes=2),
+                    HadoopConfig(chunk_size=CHUNK, jvm_startup=0.005))
+    gp = run_gpmr(app, inputs, das4_cluster(nodes=2, gpu=True),
+                  GPMRConfig(chunk_size=CHUNK))
+    for res in (gw_cpu, gw_gpu, hd, gp):
+        assert_outputs_match(res.output_pairs(), ref)
+
+
+# -------------------------------------------------------------- matmul
+def test_matmul_product_correct_all_engines():
+    blob, A, B = datagen.matmul_tasks(128, 32, seed=6)
+    app = MatMulApp(32)
+    expected = A @ B
+    chunk = app.record_format.record_size * 4
+    gw = run_glasswing(app, {"mm": blob}, das4_cluster(nodes=2),
+                       JobConfig(chunk_size=chunk))
+    hd = run_hadoop(app, {"mm": blob}, das4_cluster(nodes=2),
+                    HadoopConfig(chunk_size=chunk, jvm_startup=0.005))
+    gp = run_gpmr(app, {"mm": blob}, das4_cluster(nodes=2, gpu=True),
+                  GPMRConfig(chunk_size=chunk))
+    for res in (gw, hd, gp):
+        got = app.assemble(list(res.output_pairs()), 128)
+        assert np.allclose(got, expected, rtol=1e-3)
+
+
+# ------------------------------------------------------- scale variations
+@pytest.mark.parametrize("nodes", [1, 2, 5])
+def test_wordcount_node_count_does_not_change_output(wc_inputs, nodes):
+    app = WordCountApp()
+    ref = run_reference(app, wc_inputs)
+    res = run_glasswing(app, wc_inputs, das4_cluster(nodes=nodes),
+                        JobConfig(chunk_size=CHUNK))
+    assert_outputs_match(res.output_pairs(), ref)
+
+
+def test_partition_count_does_not_change_output(wc_inputs):
+    app = WordCountApp()
+    ref = run_reference(app, wc_inputs)
+    for P in (1, 4, 16):
+        res = run_glasswing(app, wc_inputs, das4_cluster(nodes=2),
+                            JobConfig(chunk_size=CHUNK,
+                                      partitions_per_node=P))
+        assert_outputs_match(res.output_pairs(), ref)

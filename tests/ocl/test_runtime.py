@@ -1,0 +1,217 @@
+"""Tests for the mini-OpenCL runtime: devices, buffers, queues, events."""
+
+import pytest
+
+from repro.hw import Node
+from repro.hw.presets import type1_node
+from repro.ocl import (
+    CommandQueue,
+    Context,
+    Device,
+    Kernel,
+    KernelCost,
+    OCLError,
+    OutOfDeviceMemory,
+)
+from repro.hw.specs import DeviceKind
+from repro.simt import Simulator
+
+
+def make_node(gpu=True):
+    sim = Simulator()
+    node = Node(sim, type1_node(gpu=gpu), 0)
+    return sim, node
+
+
+def make_devices(sim, node):
+    cpu = Device(sim, node.spec.cpu_device, node)
+    gpu = Device(sim, node.spec.device(DeviceKind.GPU), node)
+    return cpu, gpu
+
+
+def test_cpu_kernel_runs_on_host_threads():
+    sim, node = make_node()
+    cpu, _ = make_devices(sim, node)
+    ctx = Context(sim, [cpu])
+    q = CommandQueue(ctx, cpu)
+    # 19 GFLOP = 1 second on the full CPU device.
+    k = Kernel("work", lambda: "out", cost_fn=lambda d, a: KernelCost(flops=19e9))
+    ev = q.enqueue_kernel(k, {})
+    sim.run()
+    assert ev.result == "out"
+    assert ev.duration == pytest.approx(1.0 + node.spec.cpu_device.launch_overhead,
+                                        rel=1e-3)
+
+
+def test_cpu_kernel_with_fewer_threads_is_slower():
+    sim, node = make_node()
+    cpu, _ = make_devices(sim, node)
+    ctx = Context(sim, [cpu])
+    q = CommandQueue(ctx, cpu)
+    k = Kernel("work", lambda: None, cost_fn=lambda d, a: KernelCost(flops=19e9))
+    ev = q.enqueue_kernel(k, {}, threads=4)  # 4 of 16 threads
+    sim.run()
+    assert ev.duration == pytest.approx(4.0, rel=1e-2)
+
+
+def test_gpu_kernel_does_not_use_host_threads():
+    sim, node = make_node()
+    cpu, gpu = make_devices(sim, node)
+    ctx = Context(sim, [cpu, gpu])
+    q = CommandQueue(ctx, gpu)
+    k = Kernel("work", lambda: None, cost_fn=lambda d, a: KernelCost(flops=380e9))
+    busy = []
+
+    def watcher(sim):
+        yield sim.timeout(0.5)
+        busy.append(node.cpu.demand)
+
+    q.enqueue_kernel(k, {})
+    sim.process(watcher(sim))
+    sim.run()
+    assert busy == [0]  # host threads idle during GPU kernel
+    assert sim.now == pytest.approx(1.0 + gpu.spec.launch_overhead, rel=1e-3)
+
+
+def test_gpu_kernels_serialize_on_exec_engine():
+    sim, node = make_node()
+    _, gpu = make_devices(sim, node)
+    ctx = Context(sim, [gpu])
+    q1 = CommandQueue(ctx, gpu)
+    q2 = CommandQueue(ctx, gpu)
+    k = Kernel("w", lambda: None, cost_fn=lambda d, a: KernelCost(flops=380e9))
+    e1 = q1.enqueue_kernel(k, {})
+    e2 = q2.enqueue_kernel(k, {})
+    sim.run()
+    # Two 1-second kernels from different queues share one device engine.
+    assert max(e1.ended, e2.ended) == pytest.approx(2.0, rel=1e-2)
+
+
+def test_in_order_queue_serializes_commands():
+    sim, node = make_node()
+    cpu, _ = make_devices(sim, node)
+    ctx = Context(sim, [cpu])
+    q = CommandQueue(ctx, cpu)
+    k = Kernel("w", lambda: None, cost_fn=lambda d, a: KernelCost(flops=19e9))
+    e1 = q.enqueue_kernel(k, {})
+    e2 = q.enqueue_kernel(k, {})
+    sim.run()
+    assert e2.started >= e1.ended
+
+
+def test_transfer_time_h2d():
+    sim, node = make_node()
+    _, gpu = make_devices(sim, node)
+    ctx = Context(sim, [gpu])
+    q = CommandQueue(ctx, gpu)
+    buf = ctx.alloc_buffer(gpu, 55_000_000)
+    ev = q.enqueue_write(buf, payload=b"data", nbytes=55_000_000)
+    sim.run()
+    assert ev.duration == pytest.approx(0.01, rel=1e-2)  # 55MB / 5.5GB/s
+    assert buf.payload == b"data"
+    assert gpu.bytes_transferred == 55_000_000
+
+
+def test_unified_memory_transfer_is_free():
+    sim, node = make_node()
+    cpu, _ = make_devices(sim, node)
+    ctx = Context(sim, [cpu])
+    q = CommandQueue(ctx, cpu)
+    buf = ctx.alloc_buffer(cpu, 10**9)
+    ev = q.enqueue_write(buf, payload="x", nbytes=10**9)
+    sim.run()
+    assert ev.duration == 0.0
+
+
+def test_read_returns_payload():
+    sim, node = make_node()
+    _, gpu = make_devices(sim, node)
+    ctx = Context(sim, [gpu])
+    q = CommandQueue(ctx, gpu)
+    buf = ctx.alloc_buffer(gpu, 1000)
+    q.enqueue_write(buf, payload=[1, 2, 3], nbytes=1000)
+    ev = q.enqueue_read(buf, nbytes=1000)
+    sim.run()
+    assert ev.result == [1, 2, 3]
+
+
+def test_device_memory_exhaustion():
+    sim, node = make_node()
+    _, gpu = make_devices(sim, node)
+    ctx = Context(sim, [gpu])
+    cap = gpu.spec.device_mem
+    ctx.alloc_buffer(gpu, cap - 100)
+    with pytest.raises(OutOfDeviceMemory):
+        ctx.alloc_buffer(gpu, 200)
+
+
+def test_buffer_release_returns_memory():
+    sim, node = make_node()
+    _, gpu = make_devices(sim, node)
+    ctx = Context(sim, [gpu])
+    buf = ctx.alloc_buffer(gpu, 1000)
+    assert gpu.mem_used == 1000
+    ctx.release(buf)
+    assert gpu.mem_used == 0
+    with pytest.raises(OCLError):
+        ctx.release(buf)
+
+
+def test_released_buffer_rejected_by_queue():
+    sim, node = make_node()
+    _, gpu = make_devices(sim, node)
+    ctx = Context(sim, [gpu])
+    q = CommandQueue(ctx, gpu)
+    buf = ctx.alloc_buffer(gpu, 1000)
+    ctx.release(buf)
+    with pytest.raises(OCLError):
+        q.enqueue_write(buf, payload=None, nbytes=1000)
+
+
+def test_explicit_event_dependency():
+    sim, node = make_node()
+    cpu, gpu = make_devices(sim, node)
+    ctx = Context(sim, [cpu, gpu])
+    qc = CommandQueue(ctx, cpu)
+    qg = CommandQueue(ctx, gpu)
+    kc = Kernel("c", lambda: None, cost_fn=lambda d, a: KernelCost(flops=19e9))
+    kg = Kernel("g", lambda: None, cost_fn=lambda d, a: KernelCost(flops=380e9))
+    e1 = qc.enqueue_kernel(kc, {})
+    e2 = qg.enqueue_kernel(kg, {}, wait_for=[e1])
+    sim.run()
+    assert e2.started >= e1.ended
+
+
+def test_finish_marker():
+    sim, node = make_node()
+    cpu, _ = make_devices(sim, node)
+    ctx = Context(sim, [cpu])
+    q = CommandQueue(ctx, cpu)
+    k = Kernel("w", lambda: None, cost_fn=lambda d, a: KernelCost(flops=19e9))
+    q.enqueue_kernel(k, {})
+    done = []
+
+    def proc(sim):
+        yield q.finish()
+        done.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert done[0] >= 1.0
+
+
+def test_incomplete_event_duration_raises():
+    sim, node = make_node()
+    cpu, _ = make_devices(sim, node)
+    ctx = Context(sim, [cpu])
+    q = CommandQueue(ctx, cpu)
+    k = Kernel("w", lambda: None, cost_fn=lambda d, a: KernelCost(flops=19e9))
+    ev = q.enqueue_kernel(k, {})
+    with pytest.raises(OCLError):
+        _ = ev.duration
+
+
+def test_context_requires_devices():
+    sim, node = make_node()
+    with pytest.raises(OCLError):
+        Context(sim, [])

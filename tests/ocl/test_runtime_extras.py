@@ -1,0 +1,75 @@
+"""Additional coverage for public utilities of the hw/ocl layers."""
+
+import pytest
+
+from repro.hw import Disk, Node
+from repro.hw.presets import type1_node
+from repro.hw.specs import DeviceKind, DiskSpec
+from repro.ocl import CommandQueue, Context, Device, Kernel, KernelCost
+from repro.simt import Simulator
+
+
+def make_ctx(gpu=True):
+    sim = Simulator()
+    node = Node(sim, type1_node(gpu=gpu), 0)
+    dev = Device(sim, node.spec.device(DeviceKind.GPU if gpu
+                                       else DeviceKind.CPU), node)
+    return sim, node, dev, Context(sim, [dev])
+
+
+def test_disk_time_for_estimate():
+    sim = Simulator()
+    disk = Disk(sim, DiskSpec(name="d", read_bw=100e6, write_bw=50e6,
+                              seek_time=0.01))
+    assert disk.time_for("read", 100_000_000) == pytest.approx(1.01)
+    assert disk.time_for("write", 100_000_000) == pytest.approx(2.01)
+
+
+def test_context_live_buffers_accounting():
+    sim, node, dev, ctx = make_ctx()
+    assert ctx.live_buffers == 0
+    a = ctx.alloc_buffer(dev, 100)
+    b = ctx.alloc_buffer(dev, 200)
+    assert ctx.live_buffers == 2
+    ctx.release(a)
+    assert ctx.live_buffers == 1
+    ctx.release(b)
+    assert ctx.live_buffers == 0
+
+
+def test_ocl_event_profiling_fields():
+    sim, node, dev, ctx = make_ctx()
+    q = CommandQueue(ctx, dev)
+    k = Kernel("w", lambda: 42, cost_fn=lambda d, a: KernelCost(flops=380e9))
+    ev = q.enqueue_kernel(k, {})
+    assert not ev.complete
+    assert ev.queued == 0.0
+    sim.run()
+    assert ev.complete
+    assert ev.result == 42
+    assert ev.started is not None and ev.ended > ev.started
+    assert ev.duration == pytest.approx(ev.ended - ev.started)
+
+
+def test_negative_buffer_size_rejected():
+    sim, node, dev, ctx = make_ctx()
+    with pytest.raises(ValueError):
+        ctx.alloc_buffer(dev, -1)
+
+
+def test_transfer_direction_validated():
+    sim, node, dev, ctx = make_ctx()
+
+    def proc():
+        yield from dev.transfer(100, "sideways")
+
+    sim.process(proc())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_device_kernel_time_estimate():
+    sim, node, dev, ctx = make_ctx()
+    k = Kernel("w", lambda: None, cost_fn=lambda d, a: KernelCost(flops=380e9))
+    est = dev.kernel_time(k, {})
+    assert est == pytest.approx(1.0 + dev.spec.launch_overhead, rel=1e-3)

@@ -1,0 +1,94 @@
+"""Unit tests for the Timeline/Span tracing machinery."""
+
+import pytest
+
+from repro.simt import Timeline
+
+
+def test_record_and_duration():
+    tl = Timeline()
+    s = tl.record("map.kernel", "n0", 1.0, 4.0, chunk=7)
+    assert s.duration == 3.0
+    assert s.meta["chunk"] == 7
+    assert len(tl) == 1
+
+
+def test_record_rejects_negative_duration():
+    tl = Timeline()
+    with pytest.raises(ValueError):
+        tl.record("x", "n0", 5.0, 4.0)
+
+
+def test_busy_time_counts_parallel_work_multiply():
+    tl = Timeline()
+    tl.record("part", "t0", 0.0, 10.0)
+    tl.record("part", "t1", 0.0, 10.0)
+    assert tl.busy_time("part") == 20.0
+
+
+def test_occupied_time_merges_overlap():
+    tl = Timeline()
+    tl.record("part", "t0", 0.0, 10.0)
+    tl.record("part", "t1", 5.0, 12.0)
+    tl.record("part", "t2", 20.0, 25.0)
+    assert tl.occupied_time("part") == 17.0
+
+
+def test_occupied_time_touching_intervals():
+    tl = Timeline()
+    tl.record("x", "a", 0.0, 5.0)
+    tl.record("x", "a", 5.0, 10.0)
+    assert tl.occupied_time("x") == 10.0
+
+
+def test_span_extent():
+    tl = Timeline()
+    tl.record("io", "a", 2.0, 3.0)
+    tl.record("io", "b", 10.0, 11.0)
+    assert tl.span_extent("io") == 9.0
+    assert tl.span_extent("missing") == 0.0
+
+
+def test_filter_by_name():
+    tl = Timeline()
+    tl.record("k", "n0", 0.0, 1.0)
+    tl.record("k", "n1", 0.0, 2.0)
+    assert tl.busy_time("k", name="n1") == 2.0
+    assert tl.busy_time("k") == 3.0
+
+
+def test_first_start_last_end():
+    tl = Timeline()
+    tl.record("m", "a", 3.0, 4.0)
+    tl.record("m", "a", 1.0, 2.0)
+    assert tl.first_start("m") == 1.0
+    assert tl.last_end("m") == 4.0
+    assert tl.first_start("none") == float("inf")
+    assert tl.last_end("none") == 0.0
+
+
+def test_merge_timelines():
+    a, b = Timeline(), Timeline()
+    a.record("x", "1", 0.0, 1.0)
+    b.record("y", "2", 1.0, 2.0)
+    a.merge(b)
+    assert a.categories() == ["x", "y"]
+
+
+def test_breakdown_prefix_filter():
+    tl = Timeline()
+    tl.record("map.input", "n0", 0.0, 2.0)
+    tl.record("map.kernel", "n0", 1.0, 5.0)
+    tl.record("reduce.kernel", "n0", 6.0, 7.0)
+    bd = tl.breakdown("map.")
+    assert set(bd) == {"map.input", "map.kernel"}
+    assert bd["map.kernel"] == 4.0
+
+
+def test_span_overlap_predicate():
+    tl = Timeline()
+    a = tl.record("x", "a", 0.0, 5.0)
+    b = tl.record("x", "b", 4.0, 6.0)
+    c = tl.record("x", "c", 5.0, 7.0)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)

@@ -1,0 +1,160 @@
+"""Tests for the distributed file system."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import Cluster
+from repro.hw.presets import das4_cluster
+from repro.simt import Simulator
+from repro.storage.dfs import DFS, JNIOverhead
+from repro.storage.localfs import FileNotFound
+
+
+def make_dfs(nodes=4, block_size=1000, replication=3, jni=JNIOverhead()):
+    sim = Simulator()
+    cluster = Cluster(sim, das4_cluster(nodes=nodes))
+    dfs = DFS(cluster, block_size=block_size, replication=replication, jni=jni)
+    return sim, cluster, dfs
+
+
+def run(sim, gen):
+    p = sim.process(gen)
+    sim.run()
+    return p.value
+
+
+def test_create_read_round_trip():
+    sim, cluster, dfs = make_dfs()
+    data = bytes(range(256)) * 20  # 5120 bytes -> 6 blocks of 1000
+    run(sim, dfs.create("f", data, writer=0))
+    assert dfs.size("f") == 5120
+    got = run(sim, dfs.read("f", reader=2))
+    assert got == data
+
+
+def test_read_arbitrary_ranges_cross_blocks():
+    sim, cluster, dfs = make_dfs(block_size=100)
+    data = bytes(i % 251 for i in range(1050))
+    run(sim, dfs.create("f", data, writer=1))
+    for (off, ln) in [(0, 50), (95, 10), (0, 1050), (999, 51), (100, 900)]:
+        assert run(sim, dfs.read("f", off, ln, reader=0)) == data[off:off + ln]
+
+
+def test_block_locations_cover_file():
+    sim, cluster, dfs = make_dfs(block_size=1000)
+    data = b"q" * 3500
+    run(sim, dfs.create("f", data, writer=0))
+    locs = dfs.block_locations("f")
+    assert [loc.length for loc in locs] == [1000, 1000, 1000, 500]
+    assert [loc.offset for loc in locs] == [0, 1000, 2000, 3000]
+    for loc in locs:
+        assert len(loc.replicas) == 3
+        assert len(set(loc.replicas)) == 3
+        assert loc.replicas[0] == 0  # first replica on writer
+
+
+def test_replication_clamped_to_cluster():
+    sim, cluster, dfs = make_dfs(nodes=2, replication=3)
+    run(sim, dfs.create("f", b"x" * 100, writer=0))
+    assert len(dfs.block_locations("f")[0].replicas) == 2
+
+
+def test_replication_one_stays_local():
+    sim, cluster, dfs = make_dfs(replication=1)
+    run(sim, dfs.create("f", b"x" * 2500, writer=3))
+    for loc in dfs.block_locations("f"):
+        assert loc.replicas == (3,)
+
+
+def test_replicas_spread_across_nodes():
+    sim, cluster, dfs = make_dfs(nodes=4, block_size=100)
+    run(sim, dfs.create("f", b"x" * 400, writer=0))
+    second_replicas = {loc.replicas[1] for loc in dfs.block_locations("f")}
+    assert len(second_replicas) > 1  # round-robin spreads the copies
+
+
+def test_local_read_faster_than_remote():
+    # replication=1 on node 0; compare reading from node 0 vs node 1.
+    sim1, c1, d1 = make_dfs(replication=1, jni=None)
+    data = b"z" * 500_000
+    run(sim1, d1.create("f", data, writer=0))
+    d1.purge_caches()
+    t0 = sim1.now
+    run(sim1, d1.read("f", reader=0))
+    local_time = sim1.now - t0
+
+    sim2, c2, d2 = make_dfs(replication=1, jni=None)
+    run(sim2, d2.create("f", data, writer=0))
+    d2.purge_caches()
+    t0 = sim2.now
+    run(sim2, d2.read("f", reader=1))
+    remote_time = sim2.now - t0
+    assert remote_time > local_time
+
+
+def test_jni_overhead_costs_time():
+    data = b"j" * 500_000
+    times = {}
+    for label, jni in [("native", None), ("jni", JNIOverhead(per_call=1e-3,
+                                                             copy_bw=100e6))]:
+        sim, cluster, dfs = make_dfs(jni=jni, block_size=100_000)
+        run(sim, dfs.create("f", data, writer=0))
+        dfs.purge_caches()
+        t0 = sim.now
+        run(sim, dfs.read("f", reader=0))
+        times[label] = sim.now - t0
+    assert times["jni"] > times["native"]
+
+
+def test_delete_removes_blocks():
+    sim, cluster, dfs = make_dfs()
+    run(sim, dfs.create("f", b"x" * 2000, writer=0))
+    assert dfs.node_fs[0].listdir(".dfs/")
+    dfs.delete("f")
+    assert not dfs.exists("f")
+    for fs in dfs.node_fs:
+        assert not fs.listdir(".dfs/")
+
+
+def test_create_existing_path_rejected():
+    sim, cluster, dfs = make_dfs()
+    run(sim, dfs.create("f", b"1", writer=0))
+    def creator():
+        yield from dfs.create("f", b"2", writer=0)
+    sim.process(creator())
+    with pytest.raises(FileExistsError):
+        sim.run()
+
+
+def test_missing_file_raises():
+    sim, cluster, dfs = make_dfs()
+    with pytest.raises(FileNotFound):
+        dfs.size("ghost")
+    with pytest.raises(FileNotFound):
+        dfs.block_locations("ghost")
+
+
+def test_listdir_prefix():
+    sim, cluster, dfs = make_dfs()
+    run(sim, dfs.create("in/part0", b"a", writer=0))
+    run(sim, dfs.create("in/part1", b"b", writer=1))
+    run(sim, dfs.create("out/part0", b"c", writer=2))
+    assert dfs.listdir("in/") == ["in/part0", "in/part1"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.binary(min_size=0, max_size=5000),
+       block_size=st.integers(min_value=1, max_value=700),
+       off_frac=st.floats(min_value=0, max_value=1),
+       len_frac=st.floats(min_value=0, max_value=1))
+def test_dfs_read_matches_slice_property(data, block_size, off_frac, len_frac):
+    """Any (offset, length) read equals the equivalent bytes slice."""
+    sim = Simulator()
+    from repro.hw.presets import das4_cluster as _c
+    cluster = Cluster(sim, _c(nodes=3))
+    dfs = DFS(cluster, block_size=block_size, replication=2)
+    run(sim, dfs.create("f", data, writer=0))
+    off = int(off_frac * len(data))
+    ln = int(len_frac * (len(data) - off))
+    got = run(sim, dfs.read("f", off, ln, reader=1))
+    assert got == data[off:off + ln]

@@ -1,0 +1,121 @@
+"""Tests for record formats, KV schemas, codec and compression model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage.records import (
+    NO_COMPRESSION,
+    CompressionModel,
+    FixedRecordFormat,
+    KVSchema,
+    TextRecordFormat,
+    decode_pairs,
+    encode_pairs,
+)
+
+
+# ------------------------------------------------------------ text records
+def test_text_split_basic():
+    fmt = TextRecordFormat()
+    assert fmt.split_records(b"a\nbb\nccc\n") == [b"a", b"bb", b"ccc"]
+
+
+def test_text_split_no_trailing_newline():
+    fmt = TextRecordFormat()
+    assert fmt.split_records(b"a\nb") == [b"a", b"b"]
+
+
+def test_text_split_empty():
+    assert TextRecordFormat().split_records(b"") == []
+
+
+def test_text_record_bytes_includes_newline():
+    assert TextRecordFormat().record_bytes(b"abc") == 4
+
+
+# ----------------------------------------------------------- fixed records
+def test_fixed_split():
+    fmt = FixedRecordFormat(4)
+    assert fmt.split_records(b"aaaabbbbcccc") == [b"aaaa", b"bbbb", b"cccc"]
+
+
+def test_fixed_split_ragged_rejected():
+    with pytest.raises(ValueError):
+        FixedRecordFormat(4).split_records(b"aaaab")
+
+
+def test_fixed_record_size_validation():
+    with pytest.raises(ValueError):
+        FixedRecordFormat(0)
+
+
+# -------------------------------------------------------------- KV schema
+WC_SCHEMA = KVSchema("wc", key_bytes=lambda k: len(k), value_bytes=lambda v: 4)
+
+
+def test_schema_pair_bytes():
+    assert WC_SCHEMA.pair_bytes("word", 1) == 4 + 4 + 8
+
+
+def test_schema_size_of():
+    pairs = [("a", 1), ("bb", 2)]
+    assert WC_SCHEMA.size_of(pairs) == (1 + 4 + 8) + (2 + 4 + 8)
+
+
+# ------------------------------------------------------------------- codec
+def test_codec_round_trip_simple():
+    pairs = [("hello", 3), (b"raw", 2.5), (7, "x")]
+    assert list(decode_pairs(encode_pairs(pairs))) == pairs
+
+
+def test_codec_tuple_values():
+    pairs = [(("k", 1), (2.0, "v", b"z"))]
+    assert list(decode_pairs(encode_pairs(pairs))) == pairs
+
+
+def test_codec_rejects_unsupported():
+    with pytest.raises(TypeError):
+        encode_pairs([({"dict": 1}, 2)])
+
+
+_scalar = st.one_of(
+    st.text(max_size=20),
+    st.binary(max_size=20),
+    st.integers(min_value=-2**60, max_value=2**60),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.booleans(),
+)
+_value = st.one_of(_scalar, st.tuples(_scalar, _scalar))
+
+
+@given(st.lists(st.tuples(_value, _value), max_size=30))
+def test_codec_round_trip_property(pairs):
+    assert list(decode_pairs(encode_pairs(pairs))) == pairs
+
+
+# ------------------------------------------------------------- compression
+def test_compression_sizes_and_times():
+    c = CompressionModel(ratio=0.5, compress_bw=100e6, decompress_bw=200e6)
+    assert c.compressed_size(1000) == 500
+    assert c.compress_seconds(100e6) == pytest.approx(1.0)
+    assert c.decompress_seconds(100e6) == pytest.approx(0.5)
+
+
+def test_no_compression_sentinel():
+    assert NO_COMPRESSION.compressed_size(12345) == 12345
+    assert NO_COMPRESSION.compress_seconds(10**9) < 1e-6
+
+
+def test_compression_validation():
+    with pytest.raises(ValueError):
+        CompressionModel(ratio=0.0)
+    with pytest.raises(ValueError):
+        CompressionModel(ratio=1.5)
+    with pytest.raises(ValueError):
+        CompressionModel(compress_bw=0)
+
+
+@given(st.integers(min_value=0, max_value=10**9))
+def test_compression_never_grows(nbytes):
+    c = CompressionModel(ratio=0.45)
+    assert c.compressed_size(nbytes) <= nbytes

@@ -1,0 +1,66 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.cli import build_parser, main, make_job
+from repro.core.config import JobConfig
+from repro.hw.specs import DeviceKind
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["wordcount"])
+    assert args.nodes == 4
+    assert args.device == "cpu"
+    assert args.storage == "dfs"
+
+
+def test_parser_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["sorting-hat"])
+
+
+def test_make_job_wordcount():
+    args = build_parser().parse_args(
+        ["wordcount", "--megabytes", "0.1", "--chunk-kb", "16"])
+    app, inputs, config = make_job(args)
+    assert app.name == "wordcount"
+    assert "corpus" in inputs
+    assert config.chunk_size == 16 * 1024
+    assert isinstance(config, JobConfig)
+
+
+def test_make_job_terasort_sets_replication():
+    args = build_parser().parse_args(["terasort", "--records", "500"])
+    app, inputs, config = make_job(args)
+    assert config.output_replication == 1
+    assert len(inputs["teragen"]) == 500 * 100
+
+
+def test_make_job_kmeans_gpu():
+    args = build_parser().parse_args(
+        ["kmeans", "--device", "gpu", "--points", "100", "--centers", "4"])
+    app, inputs, config = make_job(args)
+    assert config.device is DeviceKind.GPU
+    assert app.k == 4
+
+
+def test_make_job_matmul_chunk_is_record():
+    args = build_parser().parse_args(["matmul", "--matrix", "64"])
+    app, inputs, config = make_job(args)
+    assert config.chunk_size == app.record_format.record_size
+
+
+def test_main_runs_small_job(capsys):
+    rc = main(["wordcount", "--nodes", "2", "--megabytes", "0.2",
+               "--chunk-kb", "32"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "job time" in out
+    assert "output pairs" in out
+
+
+def test_main_runs_terasort(capsys):
+    rc = main(["terasort", "--nodes", "2", "--records", "2000",
+               "--chunk-kb", "50"])
+    assert rc == 0
+    assert "terasort" in capsys.readouterr().out

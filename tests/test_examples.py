@@ -1,0 +1,39 @@
+"""Smoke tests: the runnable examples must actually run.
+
+The heavyweight sweeps (tuning_pipeline) are exercised by the benchmark
+suite; here the quick examples run as real subprocesses so import errors,
+API drift or broken assertions in any example fail the test suite.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+QUICK = [
+    "quickstart.py",
+    "gpu_kmeans.py",
+    "fault_tolerance.py",
+    "inverted_index.py",
+]
+
+
+@pytest.mark.parametrize("script", QUICK)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=240)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_exist_and_are_documented():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 6
+    for script in scripts:
+        text = (EXAMPLES / script).read_text()
+        assert text.startswith("#!/usr/bin/env python3"), script
+        assert '"""' in text, f"{script} lacks a docstring"
