@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Task failures and re-execution (§III-E).
+"""Fault tolerance end to end (§III-E).
 
-Injects crashes into map tasks and shows the pipeline recovering: partial
-kernel work is discarded, the split is re-read from replicated storage
-and re-executed, and the final output is still exactly correct.
+Walks the full fault model on a 4-node wordcount: map-task crashes with
+re-execution, a whole-node crash with the shuffle-recovery wave, and a
+straggler raced by a speculative duplicate.  Every run's output is
+verified identical to the fault-free reference — the headline guarantee.
 
     python examples/fault_tolerance.py
 """
@@ -12,34 +13,65 @@ from repro.apps import WordCountApp
 from repro.apps.datagen import wiki_text
 from repro.baselines.reference import canonical_output, run_reference
 from repro.core import JobConfig, run_glasswing
-from repro.core.faults import FaultInjector
+from repro.core.faults import FaultInjector, FaultPlan, NodeCrash
 from repro.hw.presets import das4_cluster
+
+APP = WordCountApp()
+INPUTS = {"corpus": wiki_text(2 * 1024 * 1024, seed=29)}
+CONFIG = JobConfig(chunk_size=128 * 1024, input_replication=4)
+
+
+def run(faults=None, config=CONFIG):
+    return run_glasswing(APP, INPUTS, das4_cluster(nodes=4), config,
+                         faults=faults)
+
+
+def verify(result, reference) -> None:
+    assert canonical_output(list(result.output_pairs())) == reference
+    print("    output identical to the fault-free reference.")
 
 
 def main() -> None:
-    inputs = {"corpus": wiki_text(2 * 1024 * 1024, seed=29)}
-    cluster = das4_cluster(nodes=4)
-    config = JobConfig(chunk_size=128 * 1024)
-
-    clean = run_glasswing(WordCountApp(), inputs, cluster, config)
+    reference = run_reference(APP, INPUTS)
+    clean = run()
     print(f"clean run: {clean.job_time:.4f} simulated seconds")
 
-    # Splits 0 and 3 crash once, split 7 crashes three times in a row.
+    # -- 1. map-task crashes + re-execution -----------------------------
     faults = FaultInjector(fail_counts={0: 1, 3: 1, 7: 3},
                            progress_at_failure=0.6)
-    failed = run_glasswing(WordCountApp(), inputs, cluster, config,
-                           faults=faults)
-    print(f"with {faults.total_failures} injected task failures: "
+    failed = run(faults=faults)
+    print(f"\n[1] {faults.total_failures} map-task crashes: "
           f"{failed.job_time:.4f} s "
           f"(+{failed.job_time - clean.job_time:.4f} s, "
           f"{faults.wasted_seconds:.4f} s of kernel work discarded)")
     for f in faults.failures:
-        print(f"  crash: split {f.split_index} attempt {f.attempt} "
+        print(f"    crash: split {f.split_index} attempt {f.attempt} "
               f"on {f.node} at t={f.at:.4f}")
+    verify(failed, reference)
 
-    reference = run_reference(WordCountApp(), inputs)
-    assert canonical_output(list(failed.output_pairs())) == reference
-    print("output verified identical to the fault-free reference.")
+    # -- 2. node crash + shuffle recovery --------------------------------
+    plan = FaultPlan(node_crashes=(NodeCrash(node=2,
+                                             at=clean.map_time / 2),))
+    crashed = run(faults=plan)
+    m = crashed.metrics
+    print(f"\n[2] node 2 dies mid-map: {crashed.job_time:.4f} s "
+          f"({crashed.job_time / clean.job_time:.2f}x clean)")
+    print(f"    survivors re-pushed {crashed.stats['repushed_runs']} durable "
+          f"runs and re-executed {crashed.stats['reexecuted_splits']} splits "
+          f"in a {m.recovery_time:.4f} s recovery wave")
+    verify(crashed, reference)
+
+    # -- 3. straggler + speculative duplicate ----------------------------
+    straggler = lambda: FaultPlan(stragglers={5: 8.0})
+    slow = run(faults=straggler())
+    spec = run(faults=straggler(),
+               config=CONFIG.with_(speculative_execution=True))
+    m = spec.metrics
+    print(f"\n[3] split 5 straggles 8x: {slow.job_time:.4f} s; with "
+          f"speculation {spec.job_time:.4f} s "
+          f"({m.speculative_wins}/{m.speculative_launches} races won, "
+          f"{m.wasted_seconds:.4f} s wasted on losing copies)")
+    verify(spec, reference)
 
 
 if __name__ == "__main__":

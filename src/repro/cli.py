@@ -7,18 +7,24 @@ the quickest way to poke at the framework without writing code::
     python -m repro wordcount --nodes 4 --megabytes 8
     python -m repro kmeans --nodes 2 --device gpu --centers 512
     python -m repro terasort --nodes 8 --records 100000
+
+Fault tolerance (§III-E) is driven from the same entry point::
+
+    python -m repro wordcount --node-crash 1@0.5 --fail-map 0 --fail-map 3
+    python -m repro terasort --fault-seed 7 --map-rate 0.3 --speculate
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.apps import (KMeansApp, MatMulApp, PageViewApp, TeraSortApp,
                         WordCountApp)
 from repro.apps import datagen
 from repro.core import JobConfig, run_glasswing
 from repro.core.api import MapReduceApp
+from repro.core.faults import FaultPlan, NodeCrash
 from repro.hw.presets import GBE, QDR_IB, das4_cluster
 from repro.hw.specs import DeviceKind, MiB
 from repro.storage.records import NO_COMPRESSION
@@ -51,7 +57,70 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--buffering", type=int, default=2,
                         choices=[1, 2, 3])
     parser.add_argument("--seed", type=int, default=42)
+    faults = parser.add_argument_group("fault injection (§III-E)")
+    faults.add_argument("--fail-map", type=int, action="append", default=[],
+                        metavar="SPLIT",
+                        help="crash this map split's first attempt "
+                             "(repeatable; repeat a split to crash retries)")
+    faults.add_argument("--fail-reduce", type=int, action="append",
+                        default=[], metavar="PID",
+                        help="crash this partition's first reduce attempt "
+                             "(repeatable)")
+    faults.add_argument("--node-crash", action="append", default=[],
+                        metavar="NODE@TIME",
+                        help="kill a node at a virtual time, e.g. 1@0.25 "
+                             "(repeatable)")
+    faults.add_argument("--straggle", action="append", default=[],
+                        metavar="SPLIT@FACTOR",
+                        help="slow a map split's kernel, e.g. 3@6 "
+                             "(repeatable)")
+    faults.add_argument("--fault-seed", type=int, default=None,
+                        help="derive a random fault schedule from this seed")
+    faults.add_argument("--map-rate", type=float, default=0.2,
+                        help="per-split failure probability for --fault-seed")
+    faults.add_argument("--reduce-rate", type=float, default=0.1,
+                        help="per-partition failure probability for "
+                             "--fault-seed")
+    faults.add_argument("--straggler-rate", type=float, default=0.1,
+                        help="per-split straggler probability for "
+                             "--fault-seed")
+    faults.add_argument("--speculate", action="store_true",
+                        help="enable speculative re-execution of stragglers")
     return parser
+
+
+def _parse_at(spec: str, flag: str) -> Tuple[int, float]:
+    try:
+        left, right = spec.split("@", 1)
+        return int(left), float(right)
+    except ValueError:
+        raise SystemExit(f"{flag} expects ID@VALUE, got {spec!r}")
+
+
+def make_faults(args, n_splits_hint: int = 64) -> Optional[FaultPlan]:
+    """Build the :class:`FaultPlan` the CLI flags describe (or ``None``)."""
+    if args.fault_seed is not None:
+        return FaultPlan.seeded(
+            args.fault_seed, n_splits=n_splits_hint, n_nodes=args.nodes,
+            n_partitions=args.nodes * JobConfig().partitions_per_node,
+            map_rate=args.map_rate, reduce_rate=args.reduce_rate,
+            straggler_rate=args.straggler_rate)
+    map_failures: Dict[int, int] = {}
+    for split in args.fail_map:
+        map_failures[split] = map_failures.get(split, 0) + 1
+    reduce_failures: Dict[int, int] = {}
+    for pid in args.fail_reduce:
+        reduce_failures[pid] = reduce_failures.get(pid, 0) + 1
+    crashes = tuple(NodeCrash(node, at)
+                    for node, at in (_parse_at(s, "--node-crash")
+                                     for s in args.node_crash))
+    stragglers = dict(_parse_at(s, "--straggle") for s in args.straggle)
+    if not (map_failures or reduce_failures or crashes or stragglers):
+        return None
+    return FaultPlan(map_failures=map_failures,
+                     reduce_failures=reduce_failures,
+                     node_crashes=crashes,
+                     stragglers={s: float(f) for s, f in stragglers.items()})
 
 
 def make_job(args) -> Tuple[MapReduceApp, Dict[str, bytes], JobConfig]:
@@ -95,9 +164,20 @@ def make_job(args) -> Tuple[MapReduceApp, Dict[str, bytes], JobConfig]:
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     app, inputs, config = make_job(args)
+    if args.speculate:
+        config = config.with_(speculative_execution=True)
+    n_splits = max(1, -(-sum(len(v) for v in inputs.values())
+                        // config.chunk_size))
+    try:
+        faults = make_faults(args, n_splits_hint=n_splits)
+    except ValueError as exc:    # e.g. straggler factor < 1
+        raise SystemExit(f"invalid fault schedule: {exc}")
     cluster = das4_cluster(nodes=args.nodes, gpu=args.device == "gpu",
                            network=QDR_IB if args.network == "ib" else GBE)
-    result = run_glasswing(app, inputs, cluster, config)
+    try:
+        result = run_glasswing(app, inputs, cluster, config, faults=faults)
+    except ValueError as exc:    # e.g. crash target outside the cluster
+        raise SystemExit(f"invalid fault schedule: {exc}")
 
     print(f"{app.name} on {args.nodes} node(s), {args.device.upper()} "
           f"kernels, {args.storage} storage, "
@@ -108,6 +188,16 @@ def main(argv=None) -> int:
     print(f"  reduce phase {result.reduce_time:10.4f} s")
     for key, value in sorted(result.stats.items()):
         print(f"  {key:<14} {value}")
+    if faults is not None or config.speculative_execution:
+        m = result.metrics
+        print("  fault tolerance:")
+        print(f"    node crashes   {m.node_crashes} "
+              f"(dead: {result.stats.get('dead_nodes', [])})")
+        print(f"    re-executions  {m.reexecutions}")
+        print(f"    wasted work    {m.wasted_seconds:.4f} s")
+        print(f"    recovery wave  {m.recovery_time:.4f} s")
+        print(f"    speculation    {m.speculative_wins}/"
+              f"{m.speculative_launches} wins/launches")
     print("  map stage breakdown (node0):")
     for stage, seconds in result.metrics.breakdown("map", "node0").items():
         print(f"    {stage:<9} {seconds:.4f} s")

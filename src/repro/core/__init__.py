@@ -15,7 +15,12 @@ Modules:
   single/double/triple buffering.
 * :mod:`repro.core.map_phase` / :mod:`repro.core.reduce_phase` — the two
   pipeline instantiations.
-* :mod:`repro.core.coordinator` — split scheduling with file affinity.
+* :mod:`repro.core.coordinator` — split scheduling with file affinity and
+  the shuffle registry (ownership / delivery ledger / durable index).
+* :mod:`repro.core.faults` — fault plans (deterministic and seeded-random)
+  and the cluster-health view.
+* :mod:`repro.core.recovery` — the node-crash recovery wave and the
+  straggler/speculation controller.
 * :mod:`repro.core.engine` — job orchestration (:func:`run_glasswing`).
 * :mod:`repro.core.metrics` — per-stage breakdowns (Tables II/III, Figs 4/5).
 """
@@ -23,5 +28,11 @@ Modules:
 from repro.core.api import MapReduceApp
 from repro.core.config import JobConfig
 from repro.core.engine import GlasswingResult, run_glasswing
+from repro.core.faults import (ClusterHealth, FaultInjector, FaultPlan,
+                               NodeCrash, TaskFailedError)
 
-__all__ = ["JobConfig", "MapReduceApp", "GlasswingResult", "run_glasswing"]
+__all__ = [
+    "JobConfig", "MapReduceApp", "GlasswingResult", "run_glasswing",
+    "FaultPlan", "FaultInjector", "NodeCrash", "ClusterHealth",
+    "TaskFailedError",
+]

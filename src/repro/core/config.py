@@ -65,6 +65,19 @@ class JobConfig:
     output_replication: int = 3
     input_replication: int = 3
 
+    # -- fault tolerance (§III-E) ---------------------------------------------
+    #: total attempts a map/reduce task may consume before the job aborts
+    max_attempts: int = 4
+    #: retry delay seed: attempt ``i`` waits ``backoff_base * 2**(i-1)``
+    #: seconds before relaunching (0 keeps retries back-to-back, which
+    #: preserves the pre-fault-tolerance timing behaviour)
+    backoff_base: float = 0.0
+    #: race a speculative duplicate of straggling map tasks on another node
+    speculative_execution: bool = False
+    #: a launch is straggling once it exceeds this multiple of the mean
+    #: observed kernel duration
+    speculation_factor: float = 1.75
+
     def __post_init__(self) -> None:
         if self.buffering not in (1, 2, 3):
             raise ValueError("buffering level must be 1, 2 or 3")
@@ -79,6 +92,12 @@ class JobConfig:
                      "reduce_threads_per_key", "output_replication"):
             if getattr(self, attr) < 1:
                 raise ValueError(f"{attr} must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
+        if self.speculation_factor <= 1.0:
+            raise ValueError("speculation_factor must be > 1")
         if self.use_combiner and self.collector == "buffer":
             # §III-F: the combiner is supported only for the hash table
             # collection mechanism.

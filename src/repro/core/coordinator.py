@@ -1,22 +1,34 @@
-"""Job coordination: input splitting and affinity-aware assignment.
+"""Job coordination: input splitting, affinity-aware assignment, and the
+shuffle registry behind node-crash recovery.
 
 "Glasswing's job coordinator is like Hadoop's: both use a dedicated master
 node; Glasswing's scheduler considers file affinity in its job
 allocation."  Splits are sized by the job's chunk size; when the backend
 exposes block locations, each split goes to the least-loaded node holding
-a replica of its first byte, otherwise round-robin.
+a replica of its first byte, otherwise round-robin.  Assignment can be
+restricted to a subset of nodes — the recovery path reschedules a dead
+node's splits onto the survivors while still honouring affinity.
+
+The :class:`ShuffleRegistry` is the coordinator's global view of the
+shuffle: which node owns each partition (re-assignable after a crash),
+which ``(split, partition)`` runs have been delivered where, and which
+map outputs are durable on which node's local disk.  Recovery is pure
+bookkeeping over this registry: anything delivered to a dead node, or
+never delivered at all, must be re-fetched from a durable copy or
+re-executed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.storage.dfs import BlockLocation
 
+from repro.core.data import SortedRun
 from repro.core.io import StorageBackend
 
-__all__ = ["Split", "make_splits", "assign_splits"]
+__all__ = ["Split", "make_splits", "assign_splits", "ShuffleRegistry"]
 
 
 @dataclass(frozen=True)
@@ -56,22 +68,32 @@ def make_splits(backend: StorageBackend, paths: Sequence[str],
 
 
 def assign_splits(splits: Sequence[Split], backend: StorageBackend,
-                  n_nodes: int) -> Dict[int, List[Split]]:
+                  n_nodes: int,
+                  allowed: Optional[Sequence[int]] = None
+                  ) -> Dict[int, List[Split]]:
     """Map each split to a node, preferring replica holders (affinity).
 
     Greedy least-loaded-replica assignment; falls back to round-robin when
-    the backend has no locality information.
+    the backend has no locality information.  ``allowed`` restricts the
+    eligible nodes (recovery schedules only onto survivors); affinity is
+    kept for replicas on eligible nodes.
     """
-    assignment: Dict[int, List[Split]] = {n: [] for n in range(n_nodes)}
+    eligible = list(range(n_nodes)) if allowed is None else sorted(allowed)
+    if not eligible:
+        raise ValueError("no eligible nodes to assign splits to")
+    eligible_set = set(eligible)
+    assignment: Dict[int, List[Split]] = {n: [] for n in eligible}
     locations: Dict[str, List[BlockLocation]] = {}
     for split in splits:
         if split.path not in locations:
             locations[split.path] = backend.locations(split.path) or []
-        candidates = _replica_holders(locations[split.path], split.offset)
+        candidates = [n for n in _replica_holders(locations[split.path],
+                                                  split.offset)
+                      if n in eligible_set]
         if candidates:
             node = min(candidates, key=lambda nid: (len(assignment[nid]), nid))
         else:
-            node = split.index % n_nodes
+            node = eligible[split.index % len(eligible)]
         assignment[node].append(split)
     return assignment
 
@@ -81,3 +103,98 @@ def _replica_holders(locs: List[BlockLocation], offset: int) -> List[int]:
         if loc.offset <= offset < loc.offset + max(loc.length, 1):
             return list(loc.replicas)
     return []
+
+
+class ShuffleRegistry:
+    """Global shuffle bookkeeping: ownership, deliveries, durable output.
+
+    One instance per job, shared by the coordinator, every map pipeline
+    and the recovery layer.  Three tables:
+
+    * ``owner_of(pid)`` — which node reduces partition ``pid``; initially
+      ``pid % n_nodes``, re-assigned to survivors after a node crash;
+    * the **delivery ledger** — ``(split, pid) -> node`` recorded when a
+      sorted run reaches its owner's intermediate manager.  An entry
+      pointing at a dead node (or missing entirely: shuffle data lost in
+      flight) marks data that recovery must reproduce;
+    * the **durable index** — per ``(node, split)`` the partition buckets
+      whose full copy the map output stage persisted to that node's local
+      disk (§III-A stage 5).  Buckets durable on a survivor are recovered
+      by a cheap disk re-read + re-push; everything else needs the split
+      re-executed.
+    """
+
+    def __init__(self, n_nodes: int, partitions_per_node: int):
+        self.n_nodes = n_nodes
+        self.total_partitions = n_nodes * partitions_per_node
+        self._owner: Dict[int, int] = {pid: pid % n_nodes
+                                       for pid in range(self.total_partitions)}
+        self.delivered: Dict[Tuple[int, int], int] = {}
+        self.durable: Dict[Tuple[int, int], Dict[int, SortedRun]] = {}
+
+    # -- ownership ---------------------------------------------------------
+    def owner_of(self, pid: int) -> int:
+        return self._owner[pid]
+
+    def owned_by(self, node: int) -> List[int]:
+        return sorted(p for p, o in self._owner.items() if o == node)
+
+    def reassign(self, pid: int, new_owner: int) -> None:
+        self._owner[pid] = new_owner
+
+    # -- delivery ledger ---------------------------------------------------
+    def mark_delivered(self, split: int, pid: int, node: int) -> None:
+        self.delivered[(split, pid)] = node
+
+    def delivered_to_live(self, split: int, pid: int, alive) -> bool:
+        """True when this run already sits in a surviving manager."""
+        node = self.delivered.get((split, pid))
+        return node is not None and alive(node)
+
+    # -- durable map output ------------------------------------------------
+    def mark_durable(self, node: int, split: int,
+                     buckets: Dict[int, SortedRun]) -> None:
+        self.durable[(node, split)] = buckets
+
+    def executed_splits(self, node: int) -> List[int]:
+        """Splits whose map output is durable on ``node``'s local disk."""
+        return sorted(s for (n, s) in self.durable if n == node)
+
+    # -- recovery planning -------------------------------------------------
+    def recovery_plan(self, all_splits: Sequence[Split], alive
+                      ) -> Tuple[Dict[Tuple[int, int], List[Tuple[int, int, SortedRun]]],
+                                 List[Split]]:
+        """What the survivors must do after node loss.
+
+        Returns ``(repushes, reexec_splits)``: ``repushes`` maps a
+        ``(source_node, owner_node)`` pair to the ``(split, pid, run)``
+        entries the source must re-read from its durable spill and
+        re-push; ``reexec_splits`` lists splits needing full re-execution
+        (their mapper died, taking the durable copy with it — or they
+        never completed at all).  Every ``(split, pid)`` the ledger shows
+        as lost is covered by exactly one of the two.
+        """
+        repushes: Dict[Tuple[int, int], List[Tuple[int, int, SortedRun]]] = {}
+        reexec: List[Split] = []
+        for split in all_splits:
+            durable_holder = None
+            for (node, s) in self.durable:
+                if s == split.index and alive(node):
+                    durable_holder = node
+                    break
+            lost_pids = [pid for pid in range(self.total_partitions)
+                         if not self.delivered_to_live(split.index, pid, alive)]
+            if not lost_pids:
+                continue
+            if durable_holder is None:
+                reexec.append(split)
+                continue
+            buckets = self.durable[(durable_holder, split.index)]
+            for pid in lost_pids:
+                run = buckets.get(pid)
+                if run is None:
+                    continue    # split produced nothing for this partition
+                owner = self.owner_of(pid)
+                repushes.setdefault((durable_holder, owner), []).append(
+                    (split.index, pid, run))
+        return repushes, reexec

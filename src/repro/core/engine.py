@@ -5,6 +5,18 @@ merge phase at each node.  After the map phase completes, the merge phase
 continues until it has received all data sent to it by map pipeline
 instantiations at other nodes.  After the merge phase completes, the
 reduce phase is started."  (§III)
+
+Fault tolerance (§III-E) is orchestrated here: a per-job
+:class:`~repro.core.faults.ClusterHealth` view and
+:class:`~repro.core.coordinator.ShuffleRegistry` thread through the
+storage, network and phase layers.  Node crashes from the
+:class:`~repro.core.faults.FaultPlan` are armed as monitor processes that
+race the shuffle — a node that dies during the map/shuffle window takes
+its pipeline, its in-flight pushes and its intermediate cache with it,
+and a recovery wave (:func:`~repro.core.recovery.run_recovery`) rebuilds
+the lost shuffle state on the survivors before merging finalises.  The
+headline guarantee: any fault schedule produces the same job output as
+the fault-free run, at gracefully degraded job time.
 """
 
 from __future__ import annotations
@@ -15,18 +27,19 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from repro.hw.node import Cluster
 from repro.hw.specs import ClusterSpec, DeviceKind
 from repro.ocl.runtime import Device
-from repro.simt.core import Simulator
+from repro.simt.core import Event, Simulator
 from repro.simt.trace import Timeline
 
 from repro.core.api import MapReduceApp
 from repro.core.config import JobConfig
-from repro.core.coordinator import assign_splits, make_splits
+from repro.core.coordinator import ShuffleRegistry, assign_splits, make_splits
 from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts
-from repro.core.faults import FaultInjector
+from repro.core.faults import ClusterHealth, FaultPlan, NodeCrash
 from repro.core.intermediate import IntermediateManager
-from repro.core.io import make_backend
+from repro.core.io import DFSBackend, make_backend
 from repro.core.map_phase import MapPhase
 from repro.core.metrics import JobMetrics
+from repro.core.recovery import SpeculationController, run_recovery
 from repro.core.reduce_phase import ReducePhase
 from repro.storage.records import FixedRecordFormat
 
@@ -63,15 +76,16 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
                   cluster_spec: ClusterSpec,
                   config: Optional[JobConfig] = None,
                   costs: HostCosts = DEFAULT_HOST_COSTS,
-                  faults: Optional["FaultInjector"] = None
+                  faults: Optional[FaultPlan] = None
                   ) -> GlasswingResult:
     """Run one Glasswing job on a fresh simulated cluster.
 
     ``inputs`` maps file paths to their content; installation is free of
     simulated time (the paper excludes input generation from timings) and
     the page caches are purged before the job starts, as in §IV.
-    ``faults`` optionally injects map-task failures, which the pipeline
-    survives through re-execution (§III-E).
+    ``faults`` optionally injects task failures, stragglers and node
+    crashes, which the job survives through re-execution, speculation and
+    the shuffle-recovery wave (§III-E).
     """
     config = config or JobConfig()
     sim = Simulator()
@@ -87,6 +101,15 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
     for path, data in inputs.items():
         backend.install(path, data)
     backend.purge_caches()
+
+    # Cluster-wide fault-tolerance state: the health view gates storage
+    # reads/writes and network deliveries; the registry is the shuffle's
+    # global ledger that recovery replans from.
+    health = ClusterHealth(n)
+    cluster.network.health = health
+    if isinstance(backend, DFSBackend):
+        backend.dfs.health = health
+    registry = ShuffleRegistry(n, config.partitions_per_node)
 
     record_size = (app.record_format.record_size
                    if isinstance(app.record_format, FixedRecordFormat) else None)
@@ -104,20 +127,48 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
                                        config.effective_reduce_device)
                           for i in range(n)]
 
+    speculation = None
+    if config.speculative_execution:
+        speculation = SpeculationController(
+            sim, app, config, backend, health, map_devices,
+            [cluster[i] for i in range(n)], costs=costs)
+
     managers = {
         i: IntermediateManager(
             sim, cluster[i], app, config, timeline,
-            owned_pids=[pid for pid in range(n * config.partitions_per_node)
-                        if pid % n == i],
+            owned_pids=registry.owned_by(i),
             costs=costs)
         for i in range(n)
     }
     map_phases = [
         MapPhase(sim, cluster[i], map_devices[i], app, config, backend,
                  timeline, splits=assignment[i], managers=managers,
-                 network=cluster.network, costs=costs, faults=faults)
+                 network=cluster.network, costs=costs, faults=faults,
+                 health=health, registry=registry, speculation=speculation)
         for i in range(n)
     ]
+
+    # Node-crash monitors: armed for the map/shuffle window only (a crash
+    # after the shuffle completed is out of this model's scope and is
+    # ignored — the monitor loses its race against ``shuffle_done``).
+    shuffle_done = Event(sim)
+    crashes: Tuple[NodeCrash, ...] = faults.node_crashes if faults else ()
+
+    def crash_monitor(crash: NodeCrash):
+        idx, _ = yield sim.any_of([sim.timeout(crash.at), shuffle_done])
+        if idx != 0 or not health.alive(crash.node):
+            return
+        health.mark_dead(crash.node, sim.now)
+        timeline.record("node.crash", cluster[crash.node].name,
+                        sim.now, sim.now, node=crash.node)
+        map_phases[crash.node].kill()
+        managers[crash.node].kill()
+
+    for crash in crashes:
+        if crash.node >= n:
+            raise ValueError(f"node crash targets node {crash.node} but the "
+                             f"cluster has {n} nodes")
+        sim.process(crash_monitor(crash), name=f"crash.n{crash.node}")
 
     result_box: Dict[str, Any] = {}
 
@@ -128,30 +179,48 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
         pushes = [p for mp in map_phases for p in mp.push_procs]
         if pushes:
             yield sim.all_of(pushes)
+        if not shuffle_done.triggered:
+            shuffle_done.succeed(None)
+        recovery_stats = (0, 0)
+        if health.any_dead:
+            t_r = sim.now
+            recovery_stats = yield from run_recovery(
+                sim, timeline, cluster, app, config, backend, managers,
+                map_devices, cluster.network, registry, health, splits,
+                costs=costs)
+            timeline.record("phase.recovery", "job", t_r, sim.now)
         timeline.record("phase.map", "job", t0, sim.now)
         for mp in map_phases:
             mp.release_buffers()
         t1 = sim.now
-        yield sim.all_of([sim.process(m.finalize(),
+        survivors = health.alive_nodes
+        yield sim.all_of([sim.process(managers[i].finalize(),
                                       name=f"finalize{i}")
-                          for i, m in managers.items()])
+                          for i in survivors])
         timeline.record("phase.merge", "job", t1, sim.now)
         t2 = sim.now
         reduce_phases = [
             ReducePhase(sim, cluster[i], reduce_devices[i], app, config,
-                        backend, timeline, managers[i], costs=costs)
-            for i in range(n)
+                        backend, timeline, managers[i], costs=costs,
+                        faults=faults)
+            for i in survivors
         ]
         yield sim.all_of([rp.run() for rp in reduce_phases])
         timeline.record("phase.reduce", "job", t2, sim.now)
         for rp in reduce_phases:
             rp.release_buffers()
         result_box["reduce_phases"] = reduce_phases
+        result_box["recovery"] = recovery_stats
         result_box["times"] = (t1 - t0, t2 - t1, sim.now - t2)
+        result_box["t_end"] = sim.now
 
     sim.process(job(), name="glasswing-job")
     sim.run()
 
+    if "times" not in result_box:
+        raise RuntimeError(
+            "the job deadlocked: the event queue drained before the "
+            "orchestrator finished (fault schedule wedged the pipeline?)")
     map_time, merge_delay, reduce_time = result_box["times"]
     output: Dict[int, List[Tuple[Any, Any]]] = {}
     for rp in result_box["reduce_phases"]:
@@ -159,6 +228,7 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
             output[pid] = pairs
 
     metrics = JobMetrics(timeline, n)
+    repushed_runs, reexecuted_splits = result_box["recovery"]
     stats = {
         "records_mapped": sum(mp.records_mapped for mp in map_phases),
         "pairs_emitted": sum(mp.pairs_emitted for mp in map_phases),
@@ -166,9 +236,19 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
                             for rp in result_box["reduce_phases"]),
         "network_bytes": cluster.network.bytes_moved,
         "splits": len(splits),
+        "dead_nodes": health.dead_nodes,
+        "repushed_runs": repushed_runs,
+        "reexecuted_splits": reexecuted_splits,
+        "task_failures": faults.total_failures if faults else 0,
+        "speculative_launches": speculation.launches if speculation else 0,
+        "speculative_wins": speculation.wins if speculation else 0,
     }
+    # Pending fault-plan events (a crash timer that lost its race, a
+    # speculation watchdog) can outlive the job in the event heap, so the
+    # job end time comes from the orchestrator, not the drained clock.
     return GlasswingResult(
-        app_name=app.name, config=config, n_nodes=n, job_time=sim.now,
+        app_name=app.name, config=config, n_nodes=n,
+        job_time=result_box["t_end"],
         map_time=map_time, merge_delay=merge_delay, reduce_time=reduce_time,
         output=output, timeline=timeline, metrics=metrics, stats=stats)
 

@@ -1,24 +1,58 @@
-"""Task-failure injection and re-execution (§III-E, implemented).
+"""Fault injection and cluster health: the fault-tolerance subsystem.
 
-The paper: "Glasswing currently does not handle task failure.  The
-standard approach of managing MapReduce task failure is re-execution: if
-a task fails, its partial output is discarded and its input is
-rescheduled for processing.  Addition of this functionality would consist
-of bookkeeping only which would involve negligible overhead."
+The paper (§III-E): "Glasswing currently does not handle task failure.
+The standard approach of managing MapReduce task failure is re-execution:
+if a task fails, its partial output is discarded and its input is
+rescheduled for processing."  This module grows that sketch into a full
+fault model covering the failures that dominate real clusters:
 
-This module adds that bookkeeping.  A :class:`FaultInjector` declares
-which map tasks fail (and how many times); the map pipeline discards the
-partial kernel work, reloads the split from storage and re-executes.
-Durability of *completed* map output is untouched — it was already on
-disk (§III-E's guarantee).
+* **map-task crashes** — the map pipeline discards partial kernel work,
+  re-reads the split from (replicated) storage and re-executes, with
+  configurable retry/backoff (``JobConfig.max_attempts`` /
+  ``backoff_base``);
+* **reduce-task crashes** — the reduce pipeline discards the partial
+  reduction, re-fetches the partition's lost input from durable map
+  output on local disk and re-executes;
+* **whole-node crashes** — the node's pipelines are killed mid-flight,
+  its intermediate state is lost (including shuffle data in flight from
+  it), and the coordinator runs a recovery wave on the survivors (see
+  :mod:`repro.core.recovery`);
+* **stragglers** — a task's kernel is slowed by a factor; the optional
+  straggler detector launches a speculative duplicate on another node
+  with first-finisher-wins semantics.
+
+A :class:`FaultPlan` declares the schedule, either deterministically or
+from a seed (:meth:`FaultPlan.seeded`).  The headline guarantee, locked
+in by ``tests/core/test_fault_matrix.py``: any fault schedule produces
+output identical to the fault-free run, at a gracefully degraded job
+time.
+
+:class:`FaultInjector` is the original, map-only deterministic plan; it
+remains as a thin alias over :class:`FaultPlan` for compatibility.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
 
-__all__ = ["FaultInjector", "TaskFailure"]
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "TaskFailure",
+    "NodeCrash",
+    "ClusterHealth",
+    "TaskFailedError",
+]
+
+#: ``progress_at_failure`` accepts one global scalar, one sequence indexed
+#: by attempt (shared by all tasks), or a mapping from task key to either.
+ProgressSpec = Union[float, Sequence[float], Mapping[int, Union[float, Sequence[float]]]]
+
+
+class TaskFailedError(RuntimeError):
+    """A task exhausted ``JobConfig.max_attempts`` executions."""
 
 
 @dataclass(frozen=True)
@@ -30,36 +64,126 @@ class TaskFailure:
     node: str
     at: float           # virtual time of the crash
     wasted: float       # virtual seconds of discarded kernel work
+    kind: str = "map"   # "map" | "reduce"
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """One whole-node loss: ``node`` dies at virtual time ``at``.
+
+    Crashes are modeled during the map/shuffle phase — the window in
+    which a node holds unique, not-yet-durable intermediate state.  A
+    crash time landing after the shuffle completed is a no-op (the job
+    already holds everything the node produced).
+    """
+
+    node: int
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("crash node must be a valid node id")
+        if self.at < 0:
+            raise ValueError("crash time must be non-negative")
+
+
+def _validate_progress(progress: ProgressSpec) -> None:
+    def check_scalar(p) -> None:
+        if not (0.0 <= float(p) <= 1.0):
+            raise ValueError("progress_at_failure must be within [0, 1]")
+
+    if isinstance(progress, Mapping):
+        for value in progress.values():
+            if isinstance(value, Sequence):
+                for p in value:
+                    check_scalar(p)
+            else:
+                check_scalar(value)
+    elif isinstance(progress, Sequence):
+        for p in progress:
+            check_scalar(p)
+    else:
+        check_scalar(progress)
+
+
+def _progress_lookup(progress: ProgressSpec, key: int, attempt: int) -> float:
+    """Resolve the kernel fraction executed before crash ``attempt`` of
+    task ``key`` (the per-failure generalisation of the old scalar)."""
+    if isinstance(progress, Mapping):
+        progress = progress.get(key, 0.5)
+    if isinstance(progress, Sequence):
+        if not progress:
+            return 0.5
+        return float(progress[min(attempt, len(progress) - 1)])
+    return float(progress)
 
 
 @dataclass
-class FaultInjector:
-    """Deterministic failure plan: ``split_index -> number of failures``.
+class FaultPlan:
+    """A pluggable fault schedule for one job.
 
-    A task scheduled for ``k`` failures crashes on its first ``k``
-    attempts and succeeds on attempt ``k``; the fraction of the kernel
-    executed before each crash is ``progress_at_failure``.
+    ``map_failures`` / ``reduce_failures`` map a task key (split index /
+    partition id) to the number of times its first attempts crash; the
+    attempt numbered ``count`` succeeds.  ``stragglers`` maps split
+    indices to kernel slowdown factors (>= 1).  ``node_crashes`` lists
+    whole-node losses.
+
+    ``progress_at_failure`` may be a global scalar, a per-attempt
+    sequence, or a per-task mapping to either — so each individual
+    failure can die at a different point of its kernel.
     """
 
-    fail_counts: Dict[int, int] = field(default_factory=dict)
-    progress_at_failure: float = 0.5
+    map_failures: Dict[int, int] = field(default_factory=dict)
+    reduce_failures: Dict[int, int] = field(default_factory=dict)
+    node_crashes: Tuple[NodeCrash, ...] = ()
+    stragglers: Dict[int, float] = field(default_factory=dict)
+    progress_at_failure: ProgressSpec = 0.5
     failures: List[TaskFailure] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        if not (0.0 <= self.progress_at_failure <= 1.0):
-            raise ValueError("progress_at_failure must be within [0, 1]")
-        if any(c < 0 for c in self.fail_counts.values()):
-            raise ValueError("failure counts must be non-negative")
+        _validate_progress(self.progress_at_failure)
+        for name, counts in (("map", self.map_failures),
+                             ("reduce", self.reduce_failures)):
+            if any(c < 0 for c in counts.values()):
+                raise ValueError(f"{name} failure counts must be non-negative")
+        if any(s < 1.0 for s in self.stragglers.values()):
+            raise ValueError("straggler slowdown factors must be >= 1")
+        self.node_crashes = tuple(self.node_crashes)
+        seen = set()
+        for crash in self.node_crashes:
+            if crash.node in seen:
+                raise ValueError(f"node {crash.node} crashes more than once")
+            seen.add(crash.node)
 
-    def should_fail(self, split_index: int, attempt: int) -> bool:
-        """True when this attempt of this split is destined to crash."""
-        return attempt < self.fail_counts.get(split_index, 0)
+    # -- schedule queries --------------------------------------------------
+    def should_fail_map(self, split_index: int, attempt: int) -> bool:
+        """True when this attempt of this map task is destined to crash."""
+        return attempt < self.map_failures.get(split_index, 0)
 
+    def should_fail_reduce(self, pid: int, attempt: int) -> bool:
+        """True when this attempt of this partition's reduce task crashes."""
+        return attempt < self.reduce_failures.get(pid, 0)
+
+    def progress_for(self, key: int, attempt: int) -> float:
+        """Kernel fraction executed before crash ``attempt`` of task ``key``."""
+        return _progress_lookup(self.progress_at_failure, key, attempt)
+
+    def slowdown_for(self, split_index: int) -> float:
+        """Kernel slowdown factor of a straggling map task (1.0 = healthy)."""
+        return self.stragglers.get(split_index, 1.0)
+
+    @property
+    def failure_count(self) -> int:
+        """Total task failures this plan will inject (excl. node crashes)."""
+        return (sum(self.map_failures.values())
+                + sum(self.reduce_failures.values()))
+
+    # -- bookkeeping (written by the phases at crash time) -----------------
     def record(self, split_index: int, attempt: int, node: str,
-               at: float, wasted: float) -> None:
-        """Log one crash (called by the map phase at failure time)."""
+               at: float, wasted: float, kind: str = "map") -> None:
+        """Log one crash (called by a phase at failure time)."""
         self.failures.append(TaskFailure(split_index, attempt, node, at,
-                                         wasted))
+                                         wasted, kind))
 
     @property
     def total_failures(self) -> int:
@@ -70,3 +194,107 @@ class FaultInjector:
     def wasted_seconds(self) -> float:
         """Total virtual kernel time discarded by crashes."""
         return sum(f.wasted for f in self.failures)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def seeded(cls, seed: int, n_splits: int, n_nodes: int = 0,
+               n_partitions: int = 0,
+               map_rate: float = 0.0, reduce_rate: float = 0.0,
+               straggler_rate: float = 0.0, straggler_slowdown: float = 4.0,
+               node_crash_count: int = 0,
+               crash_window: Tuple[float, float] = (0.0, 1.0),
+               max_failures_per_task: int = 2) -> "FaultPlan":
+        """Seeded-random plan: every draw comes from ``random.Random(seed)``
+        so the same seed always yields the same schedule (and therefore,
+        with the deterministic simulator, the same timeline).
+
+        Rates are per-task probabilities; a selected task fails
+        ``1..max_failures_per_task`` times.  ``node_crash_count`` nodes
+        (never node 0, so a coordinator-style survivor always remains)
+        crash at times drawn uniformly from ``crash_window``.
+        """
+        rng = random.Random(seed)
+        map_failures: Dict[int, int] = {}
+        reduce_failures: Dict[int, int] = {}
+        stragglers: Dict[int, float] = {}
+        progress: Dict[int, List[float]] = {}
+        for split in range(n_splits):
+            if rng.random() < map_rate:
+                count = rng.randint(1, max_failures_per_task)
+                map_failures[split] = count
+                progress[split] = [round(rng.random(), 3) for _ in range(count)]
+            elif rng.random() < straggler_rate:
+                stragglers[split] = 1.0 + rng.random() * (straggler_slowdown - 1.0)
+        for pid in range(n_partitions):
+            if rng.random() < reduce_rate:
+                reduce_failures[pid] = rng.randint(1, max_failures_per_task)
+        crashes: List[NodeCrash] = []
+        if node_crash_count:
+            if n_nodes < 2:
+                raise ValueError("node crashes need at least two nodes")
+            victims = rng.sample(range(1, n_nodes),
+                                 min(node_crash_count, n_nodes - 1))
+            lo, hi = crash_window
+            crashes = [NodeCrash(v, round(rng.uniform(lo, hi), 6))
+                       for v in sorted(victims)]
+        return cls(map_failures=map_failures, reduce_failures=reduce_failures,
+                   node_crashes=tuple(crashes), stragglers=stragglers,
+                   progress_at_failure=progress if progress else 0.5)
+
+
+class FaultInjector(FaultPlan):
+    """Deterministic map-only failure plan (the original §III-E interface).
+
+    ``fail_counts`` maps ``split_index -> number of failures``: a task
+    scheduled for ``k`` failures crashes on its first ``k`` attempts and
+    succeeds on attempt ``k``.  Kept as a compatibility alias over
+    :class:`FaultPlan`.
+    """
+
+    def __init__(self, fail_counts: Dict[int, int] | None = None,
+                 progress_at_failure: ProgressSpec = 0.5,
+                 failures: List[TaskFailure] | None = None):
+        super().__init__(map_failures=dict(fail_counts or {}),
+                         progress_at_failure=progress_at_failure,
+                         failures=failures if failures is not None else [])
+
+    @property
+    def fail_counts(self) -> Dict[int, int]:
+        return self.map_failures
+
+    def should_fail(self, split_index: int, attempt: int) -> bool:
+        """True when this attempt of this split is destined to crash."""
+        return self.should_fail_map(split_index, attempt)
+
+
+class ClusterHealth:
+    """Liveness of the cluster's nodes during one job.
+
+    Written by the engine's crash monitors; read by the phases (skip
+    deliveries to dead peers), the DFS (serve reads from live replicas)
+    and the recovery coordinator.
+    """
+
+    def __init__(self, n_nodes: int):
+        self.n_nodes = n_nodes
+        self.dead_at: Dict[int, float] = {}
+
+    def alive(self, node: int) -> bool:
+        return node not in self.dead_at
+
+    def mark_dead(self, node: int, at: float) -> None:
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"unknown node {node}")
+        self.dead_at.setdefault(node, at)
+
+    @property
+    def any_dead(self) -> bool:
+        return bool(self.dead_at)
+
+    @property
+    def alive_nodes(self) -> List[int]:
+        return [n for n in range(self.n_nodes) if n not in self.dead_at]
+
+    @property
+    def dead_nodes(self) -> List[int]:
+        return sorted(self.dead_at)

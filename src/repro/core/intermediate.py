@@ -78,6 +78,7 @@ class IntermediateManager:
         ]
         self.merge_delay: float = 0.0
         self.spilled_bytes = 0
+        self.dead = False
 
     # -- ingestion ---------------------------------------------------------
     def add_run(self, pid: int, run: SortedRun) -> None:
@@ -94,6 +95,34 @@ class IntermediateManager:
         self._mem_runs[pid].append(run)
         self._mem_bytes += run.raw_bytes
         self._maybe_trigger_flush()
+
+    def adopt_partition(self, pid: int) -> None:
+        """Take ownership of a partition re-assigned from a dead node.
+
+        Starts empty: the runs the dead owner held are reproduced by the
+        recovery layer (durable re-push or split re-execution) and arrive
+        through :meth:`add_run` like any other shuffle data.
+        """
+        if pid in self._mem_runs:
+            return
+        self.owned.append(pid)
+        self._mem_runs[pid] = []
+        self._disk_runs[pid] = []
+
+    def kill(self) -> None:
+        """Node crash: stop the merger workers and drop all cached state.
+
+        The workers are *not* interrupted — they drain naturally off the
+        closed queue (an interrupt mid-flush would leave a half-charged
+        disk write; with the node dead, nobody observes the difference).
+        """
+        self.dead = True
+        self._queue.close()
+        self._mem_runs = {p: [] for p in self.owned}
+        self._disk_runs = {p: [] for p in self.owned}
+        self._mem_bytes = 0
+        self._pending = 0
+        self._signal_if_idle()
 
     # -- lifecycle -------------------------------------------------------------
     def finalize(self) -> Generator:
@@ -166,7 +195,9 @@ class IntermediateManager:
                 else:  # pragma: no cover - defensive
                     raise ValueError(f"unknown merge task {task!r}")
             finally:
-                self._pending -= 1
+                # kill() zeroes the counter; a worker finishing its last
+                # in-flight task afterwards must not drive it negative.
+                self._pending = max(0, self._pending - 1)
                 self._signal_if_idle()
 
     def _do_flush(self, pid: int) -> Generator:

@@ -63,12 +63,22 @@ class DFSBackend(StorageBackend):
 
     def write_chunk(self, node_id: int, nbytes: int,
                     replication: int) -> Generator:
-        """Replicated output append: local disk + pipelined remote copies."""
+        """Replicated output append: local disk + pipelined remote copies.
+
+        Replica targets skip dead nodes (a crashed node's disk cannot
+        accept output), clamping to the surviving node count.
+        """
         cluster = self.dfs.cluster
-        rep = min(replication, len(cluster))
+        health = self.dfs.health
+        targets = [n for n in range(len(cluster))
+                   if health is None or health.alive(n)]
+        # Rotate so the writer (always alive) gets the first copy.
+        pivot = targets.index(node_id) if node_id in targets else 0
+        targets = targets[pivot:] + targets[:pivot]
+        rep = min(replication, len(targets))
         yield from self.dfs._jni_charge(node_id, nbytes)
         procs = [cluster.sim.process(
-            self._replica_write(node_id, (node_id + r) % len(cluster), nbytes))
+            self._replica_write(node_id, targets[r], nbytes))
             for r in range(rep)]
         yield cluster.sim.all_of(procs)
 

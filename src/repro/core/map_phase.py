@@ -14,11 +14,29 @@ Stage bodies:
    all of them to local disk for durability, then push each Partition to
    its owner node (local ones join the in-memory cache directly; remote
    ones travel the network asynchronously).
+
+Fault tolerance (§III-E) threads through every stage body:
+
+* the kernel stage retries crashed task attempts with per-attempt
+  progress, exponential backoff and a ``max_attempts`` ceiling;
+* straggling splits run their kernel at a plan-given slowdown, and the
+  :class:`~repro.core.recovery.SpeculationController` may race a
+  speculative copy on another node — first finisher wins, the loser is
+  interrupted;
+* the output stage registers the durable spill copy and every delivery
+  with the job's :class:`~repro.core.coordinator.ShuffleRegistry`, which
+  is what makes node-crash recovery pure bookkeeping;
+* pushes check cluster health and report whether the payload actually
+  reached a live owner.
+
+A ``recovery`` phase (re-executing a dead node's splits) additionally
+skips buckets the ledger already shows delivered to surviving managers,
+so re-execution never duplicates data.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List
+from typing import Dict, Generator, List, Optional
 
 from repro.hw.node import Node
 from repro.net.transport import Network
@@ -29,10 +47,10 @@ from repro.simt.trace import Timeline
 from repro.core.api import MapReduceApp
 from repro.core.collector import collect_map_output
 from repro.core.config import JobConfig
-from repro.core.coordinator import Split
+from repro.core.coordinator import ShuffleRegistry, Split
 from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts, sort_seconds
 from repro.core.data import Chunk, MapOutput, SortedRun
-from repro.core.faults import FaultInjector
+from repro.core.faults import ClusterHealth, FaultPlan, TaskFailedError
 from repro.core.intermediate import IntermediateManager
 from repro.core.io import StorageBackend
 from repro.core.pipeline import Pipeline
@@ -51,7 +69,11 @@ class MapPhase:
                  managers: Dict[int, IntermediateManager],
                  network: Network,
                  costs: HostCosts = DEFAULT_HOST_COSTS,
-                 faults: FaultInjector | None = None):
+                 faults: FaultPlan | None = None,
+                 health: ClusterHealth | None = None,
+                 registry: ShuffleRegistry | None = None,
+                 speculation: Optional["SpeculationController"] = None,
+                 recovery: bool = False):
         self.sim = sim
         self.node = node
         self.device = device
@@ -64,6 +86,10 @@ class MapPhase:
         self.n_nodes = len(managers)
         self.costs = costs
         self.faults = faults
+        self.health = health
+        self.registry = registry
+        self.speculation = speculation
+        self.recovery = recovery
         self._splits_by_index = {s.index: s for s in splits}
         self.push_procs: List = []        # in-flight remote pushes
         self.records_mapped = 0
@@ -82,8 +108,9 @@ class MapPhase:
                     self._buffers.append(self._ctx.alloc_buffer(
                         device, config.chunk_size,
                         name=f"{node.name}.map.{group}{i}"))
+        name = "map.recovery" if recovery else "map"
         self.pipeline = Pipeline(
-            sim, timeline, name="map", instance=node.name,
+            sim, timeline, name=name, instance=node.name,
             buffering=config.buffering, items=splits,
             read_fn=self._read, kernel_fn=self._kernel,
             output_fn=self._partition,
@@ -100,6 +127,13 @@ class MapPhase:
     def run(self):
         """Start the pipeline; returns its completion event."""
         return self.pipeline.run()
+
+    def kill(self) -> None:
+        """Node crash: stop the pipeline and every in-flight push."""
+        self.pipeline.kill()
+        for proc in self.push_procs:
+            if proc.is_alive:
+                proc.interrupt("node crash")
 
     # -- stage bodies ------------------------------------------------------
     def _read(self, split: Split) -> Generator:
@@ -124,35 +158,105 @@ class MapPhase:
         threads = self.config.kernel_threads
         if threads is None:
             threads = self.app.preferred_threads(self.device.spec)
-        yield from self.device.execute_cost(cost, threads=threads)
+        slow = self.faults.slowdown_for(chunk.index) if self.faults else 1.0
+        charged = cost.scaled(slow) if slow != 1.0 else cost
+        start = self.sim.now
+        if self.speculation is None:
+            yield from self.device.execute_cost(charged, threads=threads)
+        else:
+            yield from self._race_speculative(chunk, charged, threads)
+            self.speculation.observe(self.sim.now - start)
         self.pairs_emitted += len(out.pairs)
         return out
 
+    def _race_speculative(self, chunk: Chunk, charged, threads) -> Generator:
+        """First-finisher-wins race between the local kernel launch and a
+        speculative copy on another node (launched only if the local copy
+        overruns the controller's straggler threshold).
+
+        The watchdog re-arms: while the cohort has completed too few
+        launches for a trustworthy mean, it sleeps until the next launch
+        finishes anywhere, then re-evaluates how far this one has overrun.
+        """
+        sim = self.sim
+        spec = self.speculation
+        start = sim.now
+        local = sim.process(
+            self.device.execute_cost(charged, threads=threads),
+            name=f"{self.node.name}.map.k{chunk.index}")
+        slept_for = None    # last threshold we slept out in full
+        while local.is_alive:
+            threshold = spec.threshold()
+            if threshold is None:
+                yield sim.any_of([local, spec.progress_event()])
+                continue
+            remaining = threshold - (sim.now - start)
+            # Only sleep when this threshold hasn't been slept out yet:
+            # float rounding can leave ``remaining`` a few ulps above zero
+            # after the timer fires, which must not re-arm it.
+            if remaining > 0 and threshold != slept_for:
+                slept_for = threshold
+                idx, _ = yield sim.any_of([local, sim.timeout(remaining)])
+                if idx == 0:
+                    return    # finished within the straggler threshold
+                continue
+            helper = spec.pick_helper(self.node.node_id)
+            if helper is None:
+                break
+            split = self._splits_by_index[chunk.index]
+            copy_start = sim.now
+            copy = spec.launch_copy(split, helper)
+            idx2, _ = yield sim.any_of([local, copy])
+            copy_won = idx2 == 1
+            loser = local if copy_won else copy
+            if loser.is_alive:
+                loser.interrupt("lost the speculative race")
+            spec.finish(helper, copy_won)
+            # The loser's burn: the whole primary run if the copy won,
+            # else the copy's run so far.
+            wasted = (sim.now - start) if copy_won else (sim.now - copy_start)
+            self.timeline.record(
+                "map.speculative", self.node.name, copy_start,
+                sim.now, split=chunk.index, helper=helper, won=copy_won,
+                wasted=wasted)
+            return
+        yield local
+
     def _rerun_failures(self, chunk: Chunk) -> Generator:
         """Re-execution bookkeeping (§III-E): a crashing task discards its
-        partial kernel work and its input is rescheduled (re-read)."""
+        partial kernel work, backs off, and its input is rescheduled
+        (re-read); ``max_attempts`` caps the retries."""
         if self.faults is None:
             return chunk
         attempt = 0
-        while self.faults.should_fail(chunk.index, attempt):
+        while self.faults.should_fail_map(chunk.index, attempt):
             cost = self.app.map_cost(self.device.spec, len(chunk.records),
                                      chunk.nbytes)
-            partial = cost.scaled(self.faults.progress_at_failure)
+            progress = self.faults.progress_for(chunk.index, attempt)
+            partial = cost.scaled(progress)
             start = self.sim.now
             yield from self.device.execute_cost(partial)
             wasted = self.sim.now - start
             self.faults.record(chunk.index, attempt, self.node.name,
-                               self.sim.now, wasted)
+                               self.sim.now, wasted, kind="map")
             self.timeline.record("map.task_failure", self.node.name,
                                  start, self.sim.now, split=chunk.index,
                                  attempt=attempt)
+            attempt += 1
+            if attempt >= self.config.max_attempts:
+                raise TaskFailedError(
+                    f"map task for split {chunk.index} failed "
+                    f"{attempt} attempts (max_attempts="
+                    f"{self.config.max_attempts})")
+            backoff = self.config.backoff_base * (2 ** (attempt - 1))
+            if backoff > 0:
+                yield self.sim.timeout(backoff)
             # Reschedule: reload the split from (replicated) storage.
             split = self._splits_by_index[chunk.index]
             records, nbytes = yield from read_split_records(
                 self.backend, self.node.node_id, split,
                 self.app.record_format)
             chunk = Chunk(index=chunk.index, records=records, nbytes=nbytes)
-            attempt += 1
         return chunk
 
     def _retrieve(self, out: MapOutput) -> Generator:
@@ -162,7 +266,10 @@ class MapPhase:
     def _partition(self, out: MapOutput) -> Generator:
         """Stage 5: sort, partition, persist, push."""
         cfg = self.config
-        total_partitions = self.n_nodes * cfg.partitions_per_node
+        registry = self.registry
+        total_partitions = (registry.total_partitions if registry is not None
+                            else self.n_nodes * cfg.partitions_per_node)
+        split_index = out.chunk_index
         # Real work: bucket the pairs and sort each bucket.
         buckets: Dict[int, List] = {}
         for pair in out.pairs:
@@ -186,26 +293,42 @@ class MapPhase:
         # appended to the node's spill area (one sequential write stream).
         stored_total = cfg.compression.compressed_size(out.raw_bytes)
         yield from self.node.disk.write(stored_total, stream="spill")
+        runs = {pid: SortedRun(pairs, self.app.inter_schema.size_of(pairs))
+                for pid, pairs in sorted(buckets.items())}
+        if registry is not None:
+            registry.mark_durable(self.node.node_id, split_index, runs)
+            # Empty buckets are vacuously delivered — without an entry the
+            # recovery planner would re-execute a fully delivered split.
+            for pid in range(total_partitions):
+                if pid not in runs:
+                    registry.mark_delivered(split_index, pid,
+                                            registry.owner_of(pid))
         # Push each Partition to its owner.  Pushes to the same peer are
         # batched into one message per chunk (one socket per peer), and
         # they run asynchronously: the pipeline's output stage does not
         # wait for the network.
         remote: Dict[int, List[tuple[int, SortedRun]]] = {}
-        for pid, pairs in sorted(buckets.items()):
-            raw = self.app.inter_schema.size_of(pairs)
-            run = SortedRun(pairs, raw)
-            owner = pid % self.n_nodes
+        for pid, run in runs.items():
+            if (self.recovery and registry is not None
+                    and self.health is not None
+                    and registry.delivered_to_live(split_index, pid,
+                                                   self.health.alive)):
+                continue    # this bucket survived the crash; don't duplicate
+            owner = (registry.owner_of(pid) if registry is not None
+                     else pid % self.n_nodes)
             if owner == self.node.node_id:
                 self.managers[owner].add_run(pid, run)
+                if registry is not None:
+                    registry.mark_delivered(split_index, pid, owner)
             else:
                 remote.setdefault(owner, []).append((pid, run))
-        for owner, runs in remote.items():
+        for owner, owner_runs in remote.items():
             self.push_procs.append(self.sim.process(
-                self._push(owner, runs),
+                self._push(owner, split_index, owner_runs),
                 name=f"{self.node.name}.push.n{owner}"))
         return out
 
-    def _push(self, owner: int,
+    def _push(self, owner: int, split_index: int,
               runs: List[tuple[int, SortedRun]]) -> Generator:
         """Asynchronous remote Partition push (Glasswing pushes; Hadoop
         pulls — one of the paper's stated latency advantages)."""
@@ -213,8 +336,14 @@ class MapPhase:
                      for _, r in runs)
         yield self.node.host_work(1, self.costs.push_overhead, tag="push")
         start = self.sim.now
-        yield from self.network.send(self.node.node_id, owner, stored)
+        delivered = yield from self.network.send(self.node.node_id, owner,
+                                                 stored)
         self.timeline.record("map.push", self.node.name, start, self.sim.now,
-                             pids=len(runs), bytes=stored)
+                             pids=len(runs), bytes=stored,
+                             delivered=bool(delivered))
+        if delivered is False:
+            return    # owner is gone; recovery re-routes these runs
         for pid, run in runs:
             self.managers[owner].add_run(pid, run)
+            if self.registry is not None:
+                self.registry.mark_delivered(split_index, pid, owner)

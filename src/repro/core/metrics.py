@@ -68,6 +68,48 @@ class JobMetrics:
         spans = self.timeline.by_category("merge.delay")
         return max((s.duration for s in spans), default=0.0)
 
+    # -- fault tolerance (§III-E) --------------------------------------------
+    @property
+    def reexecutions(self) -> int:
+        """Task executions beyond the fault-free minimum: crashed map and
+        reduce attempts plus whole splits re-executed after node loss."""
+        return (len(self.timeline.by_category("map.task_failure"))
+                + len(self.timeline.by_category("reduce.task_failure"))
+                + len(self.timeline.by_category("recovery.reexec")))
+
+    @property
+    def wasted_seconds(self) -> float:
+        """Virtual seconds charged to work that was thrown away (partial
+        kernel progress of crashed attempts, losing speculative copies)."""
+        wasted = sum(s.duration
+                     for s in self.timeline.by_category("map.task_failure"))
+        wasted += sum(s.duration
+                      for s in self.timeline.by_category("reduce.task_failure"))
+        wasted += sum(s.meta.get("wasted", 0.0)
+                      for s in self.timeline.by_category("map.speculative"))
+        return wasted
+
+    @property
+    def speculative_launches(self) -> int:
+        """Speculative duplicates started by the straggler detector."""
+        return len(self.timeline.by_category("map.speculative"))
+
+    @property
+    def speculative_wins(self) -> int:
+        """Races where the duplicate beat the straggling primary."""
+        return sum(1 for s in self.timeline.by_category("map.speculative")
+                   if s.meta.get("won"))
+
+    @property
+    def recovery_time(self) -> float:
+        """Wall-clock extent of the post-crash shuffle-recovery wave."""
+        return self.timeline.span_extent("phase.recovery")
+
+    @property
+    def node_crashes(self) -> int:
+        """Nodes the fault plan actually killed during the run."""
+        return len(self.timeline.by_category("node.crash"))
+
     # -- invariants used by tests ------------------------------------------------
     def stage_sum(self, phase: str, node: Optional[str] = None) -> float:
         """Sum of the five stages' active times (>= elapsed iff overlapped)."""

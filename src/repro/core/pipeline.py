@@ -82,11 +82,24 @@ class Pipeline:
         self.out_pool = BufferPool(sim, buffering, name=f"{instance}.{name}.out")
         self.elapsed: Optional[float] = None
         self.outputs: List[Any] = []
+        self.killed = False
+        self._stage_procs: List = []
 
     # -- public ------------------------------------------------------------
     def run(self):
         """Start all five stage processes; returns the completion event."""
         return self.sim.process(self._drive(), name=f"{self.instance}.{self.name}")
+
+    def kill(self) -> None:
+        """Crash the pipeline mid-flight (node loss): every live stage
+        process is interrupted at its current yield point, discarding the
+        in-flight chunks.  The driver then completes normally with the
+        outputs produced so far; the engine's recovery layer is
+        responsible for re-executing what was lost."""
+        self.killed = True
+        for proc in self._stage_procs:
+            if proc.is_alive:
+                proc.interrupt("node crash")
 
     # -- internals --------------------------------------------------------------
     def _drive(self) -> Generator:
@@ -109,6 +122,7 @@ class Pipeline:
             sim.process(self._output_stage(q_retrieve),
                         name=f"{self.name}.output"),
         ]
+        self._stage_procs = procs
         yield sim.all_of(procs)
         self.elapsed = sim.now - start
         self.timeline.record(f"{self.name}.elapsed", self.instance,

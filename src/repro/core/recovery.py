@@ -1,0 +1,223 @@
+"""Node-crash recovery and speculative execution (§III-E).
+
+Two cooperating pieces live here:
+
+* :func:`run_recovery` — the coordinator's recovery wave, run between the
+  map/shuffle phase and the merge finalisation once a node has died.  It
+  re-assigns the dead node's partitions to survivors, then executes the
+  :meth:`~repro.core.coordinator.ShuffleRegistry.recovery_plan`: sorted
+  runs that are durable on a surviving node's local spill are re-read and
+  re-pushed (cheap), splits whose durable output died with their mapper
+  are re-executed on the survivors (full map work, but only the buckets
+  the ledger shows as lost are re-delivered).
+
+* :class:`SpeculationController` — the straggler detector.  It tracks
+  completed map-kernel durations; once a launch overruns
+  ``speculation_factor ×`` the observed mean, the map phase races a
+  speculative copy of the task on the least-loaded surviving node.  First
+  finisher wins and the loser is interrupted.  The real data
+  transformation runs exactly once on the primary, so speculation changes
+  timing only — never output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Sequence, Tuple
+
+from repro.net.transport import Network
+from repro.simt.core import Event, Simulator
+from repro.simt.trace import Timeline
+
+from repro.core.api import MapReduceApp
+from repro.core.config import JobConfig
+from repro.core.coordinator import ShuffleRegistry, Split, assign_splits
+from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts
+from repro.core.data import SortedRun
+from repro.core.faults import ClusterHealth
+from repro.core.intermediate import IntermediateManager
+from repro.core.io import StorageBackend
+from repro.core.splitread import read_split_records
+
+__all__ = ["SpeculationController", "run_recovery"]
+
+
+class SpeculationController:
+    """Straggler detection + speculative copy execution (one per job).
+
+    The controller owns the cross-node view the map pipelines lack: mean
+    kernel duration (the straggler baseline), how many speculative copies
+    each node is currently running (for least-loaded helper choice), and
+    the win/launch counters the metrics layer reports.
+    """
+
+    #: completed launches needed before the mean is trusted
+    MIN_SAMPLES = 3
+
+    def __init__(self, sim: Simulator, app: MapReduceApp, config: JobConfig,
+                 backend: StorageBackend, health: ClusterHealth,
+                 devices: Sequence, nodes: Sequence,
+                 costs: HostCosts = DEFAULT_HOST_COSTS):
+        self.sim = sim
+        self.app = app
+        self.config = config
+        self.backend = backend
+        self.health = health
+        self.devices = list(devices)
+        self.nodes = list(nodes)
+        self.costs = costs
+        self.durations: List[float] = []
+        self.active: Dict[int, int] = {n: 0 for n in range(len(self.nodes))}
+        self.launches = 0
+        self.wins = 0
+        self._progress_waiters: List[Event] = []
+
+    # -- straggler detection ----------------------------------------------
+    def observe(self, duration: float) -> None:
+        """Feed one completed kernel-launch duration into the baseline."""
+        self.durations.append(duration)
+        waiters, self._progress_waiters = self._progress_waiters, []
+        for ev in waiters:
+            if not ev.triggered:
+                ev.succeed(None)
+
+    def progress_event(self) -> Event:
+        """Event fired at the next :meth:`observe` — lets a watchdog with
+        no baseline yet sleep until the cohort makes progress instead of
+        polling at an arbitrary interval."""
+        ev = Event(self.sim)
+        self._progress_waiters.append(ev)
+        return ev
+
+    def threshold(self) -> float | None:
+        """Seconds after which a launch counts as straggling, or ``None``
+        while too few launches completed to trust the mean."""
+        if len(self.durations) < self.MIN_SAMPLES:
+            return None
+        mean = sum(self.durations) / len(self.durations)
+        return self.config.speculation_factor * mean
+
+    # -- speculative copies ------------------------------------------------
+    def pick_helper(self, exclude: int) -> int | None:
+        """Least-loaded surviving node other than ``exclude``."""
+        candidates = [n for n in self.health.alive_nodes if n != exclude]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda n: (self.active[n], n))
+
+    def launch_copy(self, split: Split, helper: int):
+        """Start the speculative duplicate on ``helper``; returns its
+        process (raced against the primary by the map phase)."""
+        self.launches += 1
+        return self.sim.process(
+            self._copy(split, helper),
+            name=f"spec.s{split.index}.n{helper}")
+
+    def finish(self, helper: int, copy_won: bool) -> None:
+        if copy_won:
+            self.wins += 1
+
+    def _copy(self, split: Split, helper: int) -> Generator:
+        """Charge the duplicate's costs: re-read the split on the helper
+        and run the map kernel at full speed (the straggler slowdown is a
+        property of the sick node, not of the task)."""
+        self.active[helper] += 1
+        try:
+            records, nbytes = yield from read_split_records(
+                self.backend, helper, split, self.app.record_format)
+            device = self.devices[helper]
+            cost = self.app.map_cost(device.spec, len(records), nbytes)
+            threads = self.config.kernel_threads
+            if threads is None:
+                threads = self.app.preferred_threads(device.spec)
+            yield from device.execute_cost(cost, threads=threads)
+        finally:
+            self.active[helper] -= 1
+
+
+def run_recovery(sim: Simulator, timeline: Timeline, cluster,
+                 app: MapReduceApp, config: JobConfig,
+                 backend: StorageBackend,
+                 managers: Dict[int, IntermediateManager],
+                 devices: Sequence, network: Network,
+                 registry: ShuffleRegistry, health: ClusterHealth,
+                 splits: Sequence[Split],
+                 costs: HostCosts = DEFAULT_HOST_COSTS) -> Generator:
+    """The post-crash recovery wave (process body; yields until done).
+
+    Returns ``(n_repushed_runs, n_reexecuted_splits)`` for the stats
+    block.  On return every ``(split, partition)`` run the shuffle lost is
+    re-delivered to a surviving manager, and partition ownership points
+    only at survivors — the merge and reduce phases then run exactly as in
+    the fault-free case.
+    """
+    from repro.core.map_phase import MapPhase   # cycle: map_phase ↔ recovery
+
+    survivors = health.alive_nodes
+    if not survivors:
+        raise RuntimeError("every node died; the job cannot complete")
+    # 1. Re-home the dead nodes' partitions (deterministic spread).
+    for dead in health.dead_nodes:
+        for pid in registry.owned_by(dead):
+            new_owner = survivors[pid % len(survivors)]
+            registry.reassign(pid, new_owner)
+            managers[new_owner].adopt_partition(pid)
+    # 2. Plan: cheap durable re-pushes vs full split re-execution.
+    repushes, reexec = registry.recovery_plan(splits, health.alive)
+    n_repushed = sum(len(entries) for entries in repushes.values())
+    for split in reexec:
+        timeline.record("recovery.reexec", "job", sim.now, sim.now,
+                        split=split.index)
+    # 3. Durable re-pushes: spill re-read on the source, one batched send
+    #    per (source, owner) pair, runs join the owner's cache.
+    procs = [sim.process(
+        _repush(sim, timeline, cluster[source], network, managers,
+                registry, config, costs, owner, entries),
+        name=f"recover.n{source}->n{owner}")
+        for (source, owner), entries in sorted(repushes.items())]
+    # 4. Re-execution: a small recovery map phase per survivor, affinity
+    #    assignment restricted to the survivors.  The ledger keeps already
+    #    delivered buckets from being pushed twice.
+    phases = []
+    if reexec:
+        assignment = assign_splits(reexec, backend, len(cluster),
+                                   allowed=survivors)
+        for node_id in sorted(assignment):
+            node_splits = assignment[node_id]
+            if not node_splits:
+                continue
+            phases.append(MapPhase(
+                sim, cluster[node_id], devices[node_id], app, config,
+                backend, timeline, splits=node_splits, managers=managers,
+                network=network, costs=costs, faults=None, health=health,
+                registry=registry, recovery=True))
+    waits = procs + [ph.run() for ph in phases]
+    if waits:
+        yield sim.all_of(waits)
+    pushes = [p for ph in phases for p in ph.push_procs]
+    if pushes:
+        yield sim.all_of(pushes)
+    for ph in phases:
+        ph.release_buffers()
+    return n_repushed, len(reexec)
+
+
+def _repush(sim: Simulator, timeline: Timeline, node, network: Network,
+            managers: Dict[int, IntermediateManager],
+            registry: ShuffleRegistry, config: JobConfig, costs: HostCosts,
+            owner: int,
+            entries: List[Tuple[int, int, SortedRun]]) -> Generator:
+    """Re-deliver durable runs from ``node``'s spill to ``owner``."""
+    stored = sum(config.compression.compressed_size(run.raw_bytes)
+                 for _, _, run in entries)
+    start = sim.now
+    yield from node.disk.read(stored, stream="spill.recover")
+    yield node.host_work(1, costs.push_overhead, tag="push")
+    delivered = yield from network.send(node.node_id, owner, stored)
+    timeline.record("recovery.repush", node.name, start, sim.now,
+                    owner=owner, runs=len(entries), bytes=stored,
+                    delivered=bool(delivered))
+    if delivered is False:    # owner died during recovery — not modelled
+        return
+    for split_index, pid, run in entries:
+        managers[owner].add_run(pid, run)
+        registry.mark_delivered(split_index, pid, owner)

@@ -17,6 +17,13 @@ Stage bodies:
 
 TeraSort-style ``map_only_output`` jobs use an identity kernel of zero
 cost: their output is fully determined by the shuffle's total order.
+
+Reduce-task crashes (§III-E) retry in place: the partition's intermediate
+runs are durable in the node's cache/disk, so a restarted attempt charges
+its partial kernel work, re-fetches its input (disk re-read, decompress,
+merge, group), backs off and relaunches — same ``max_attempts`` ceiling
+as map tasks.  The real reduction runs once either way, so output is
+byte-identical to the fault-free run.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from repro.core.api import MapReduceApp
 from repro.core.config import JobConfig
 from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts
 from repro.core.data import KeyGroupChunk, ReduceOutput
+from repro.core.faults import FaultPlan, TaskFailedError
 from repro.core.intermediate import IntermediateManager
 from repro.core.io import StorageBackend
 from repro.core.pipeline import Pipeline
@@ -62,7 +70,8 @@ class ReducePhase:
                  app: MapReduceApp, config: JobConfig,
                  backend: StorageBackend, timeline: Timeline,
                  manager: IntermediateManager,
-                 costs: HostCosts = DEFAULT_HOST_COSTS):
+                 costs: HostCosts = DEFAULT_HOST_COSTS,
+                 faults: FaultPlan | None = None):
         self.sim = sim
         self.node = node
         self.device = device
@@ -72,9 +81,12 @@ class ReducePhase:
         self.timeline = timeline
         self.manager = manager
         self.costs = costs
+        self.faults = faults
         self.output_pairs: dict[int, list] = {}
         self.keys_reduced = 0
         self._pid_by_index: dict[int, int] = {}
+        self._items_by_index: dict[int, _ReduceItem] = {}
+        self._first_index_of_pid: dict[int, int] = {}
         items = self._plan_items()
         stage_fn = None if device.spec.unified_memory else self._stage
         retrieve_fn = None if device.spec.unified_memory else self._retrieve
@@ -141,6 +153,8 @@ class ReducePhase:
                     merge_items=pairs_here * max(1, len(runs)).bit_length(),
                 ))
                 self._pid_by_index[index] = pid
+                self._items_by_index[index] = items[-1]
+                self._first_index_of_pid.setdefault(pid, index)
                 index += 1
         return items
 
@@ -183,11 +197,60 @@ class ReducePhase:
                               launches=1 + relaunches)
         threads = min(chunk.n_keys, cfg.concurrent_keys) \
             * cfg.reduce_threads_per_key
+        if self.faults is not None:
+            yield from self._rerun_reduce_failures(chunk, cost, threads)
         yield from self.device.execute_cost(cost, threads=threads)
         self.keys_reduced += chunk.n_keys
         nbytes = self.app.output_schema.size_of(out_pairs)
         return ReduceOutput(chunk_index=chunk.index, pairs=out_pairs,
                             nbytes=nbytes)
+
+    def _rerun_reduce_failures(self, chunk: KeyGroupChunk, cost: KernelCost,
+                               threads: int) -> Generator:
+        """Reduce-task crash/retry bookkeeping (§III-E).
+
+        A reduce-task failure is planned per *partition*; the first chunk
+        of the partition carries it (one logical reduce task per pid).
+        Each crashed attempt loses its partial kernel work and must
+        re-fetch its input from the durable intermediate runs before the
+        relaunch.
+        """
+        pid = self._pid_by_index[chunk.index]
+        if self._first_index_of_pid.get(pid) != chunk.index:
+            return
+        attempt = 0
+        while self.faults.should_fail_reduce(pid, attempt):
+            progress = self.faults.progress_for(pid, attempt)
+            start = self.sim.now
+            yield from self.device.execute_cost(cost.scaled(progress),
+                                                threads=threads)
+            # Restart: pull the chunk's share of the partition back off
+            # disk and redo the decompress/merge/group work the reader
+            # already charged once.
+            item = self._items_by_index[chunk.index]
+            if item.disk_bytes:
+                yield from self.node.disk.read(item.disk_bytes,
+                                               stream=f"p{pid}.retry")
+            cpu = (self.config.compression.decompress_seconds(item.disk_raw)
+                   + self.costs.merge_seconds(item.merge_items)
+                   + self.costs.group_seconds(
+                       sum(len(vs) for _, vs in item.groups)))
+            if cpu:
+                yield self.node.host_work(1, cpu, tag="reduce.retry")
+            wasted = self.sim.now - start
+            self.faults.record(pid, attempt, self.node.name, self.sim.now,
+                               wasted, kind="reduce")
+            self.timeline.record("reduce.task_failure", self.node.name,
+                                 start, self.sim.now, pid=pid,
+                                 attempt=attempt)
+            attempt += 1
+            if attempt >= self.config.max_attempts:
+                raise TaskFailedError(
+                    f"reduce task for partition {pid} failed {attempt} "
+                    f"attempts (max_attempts={self.config.max_attempts})")
+            backoff = self.config.backoff_base * (2 ** (attempt - 1))
+            if backoff > 0:
+                yield self.sim.timeout(backoff)
 
     def _retrieve(self, out: ReduceOutput) -> Generator:
         yield from self.device.transfer(out.nbytes, "d2h")

@@ -1,11 +1,19 @@
-"""Point-to-point transfers over a modeled interconnect."""
+"""Point-to-point transfers over a modeled interconnect.
+
+Fault semantics: transfers are interrupt-safe (a sender killed by a node
+crash withdraws its queued NIC/fabric requests instead of wedging them),
+and when the network is given a :class:`~repro.core.faults.ClusterHealth`
+view, data addressed to a dead node is dropped — :meth:`Network.send`
+reports delivery, so shuffle data in flight to (or from) a crashed node
+is lost exactly as on a real cluster.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Generator, Optional
 
-from repro.simt.core import Simulator
+from repro.simt.core import Interrupt, Simulator
 from repro.simt.resources import Resource
 from repro.simt.trace import Timeline
 
@@ -51,19 +59,30 @@ class Network:
         self._fabric = Resource(sim, fabric_links, name="fabric")
         self.transfers: list[Transfer] = []
         self.bytes_moved = 0
+        #: optional ClusterHealth view; when set, sends to dead nodes drop
+        self.health = None
+
+    def _endpoint_alive(self, node: int) -> bool:
+        return self.health is None or self.health.alive(node)
 
     def send(self, src: int, dst: int, nbytes: int) -> Generator:
         """Process-style generator: move ``nbytes`` from ``src`` to ``dst``.
 
-        Completes when the last byte has been received.  Same-node sends
-        complete immediately (the caller models any memcpy cost).
+        Completes when the last byte has been received, returning ``True``
+        on delivery.  Same-node sends complete immediately (the caller
+        models any memcpy cost).  With a health view attached, a send to
+        an already-dead node returns ``False`` immediately (connection
+        refused) and a receiver dying mid-transfer loses the data — the
+        wire time is still paid, but the send reports ``False``.
         """
         self._check_node(src)
         self._check_node(dst)
         if nbytes < 0:
             raise ValueError("negative transfer size")
+        if not self._endpoint_alive(dst):
+            return False
         if src == dst or nbytes == 0:
-            return
+            return True
         start = self.sim.now
         wire_time = nbytes / self.spec.bandwidth
         # Store-and-forward phases: a flow never holds one endpoint while
@@ -71,25 +90,44 @@ class Network:
         # deadlock is structurally impossible).  Sender-side serialisation
         # and receiver-side delivery each take bytes/bandwidth; incast
         # still contends on the receiver's NIC.
-        yield self._tx[src].acquire()
-        yield self._fabric.acquire()
+        tx_req = self._tx[src].acquire()
+        try:
+            yield tx_req
+        except Interrupt:
+            self._tx[src].cancel(tx_req)
+            raise
+        fab_req = self._fabric.acquire()
+        try:
+            yield fab_req
+        except Interrupt:
+            self._fabric.cancel(fab_req)
+            self._tx[src].release()
+            raise
         try:
             yield self.sim.timeout(wire_time)
         finally:
             self._tx[src].release()
             self._fabric.release()
         yield self.sim.timeout(self.spec.latency)
-        yield self._rx[dst].acquire()
+        rx_req = self._rx[dst].acquire()
+        try:
+            yield rx_req
+        except Interrupt:
+            self._rx[dst].cancel(rx_req)
+            raise
         try:
             yield self.sim.timeout(wire_time)
         finally:
             self._rx[dst].release()
+        delivered = self._endpoint_alive(dst)
         self.bytes_moved += nbytes
         record = Transfer(src, dst, nbytes, start, self.sim.now)
         self.transfers.append(record)
         if self.timeline is not None:
             self.timeline.record("net.transfer", f"{src}->{dst}",
-                                 start, self.sim.now, bytes=nbytes)
+                                 start, self.sim.now, bytes=nbytes,
+                                 delivered=delivered)
+        return delivered
 
     def time_for(self, nbytes: int) -> float:
         """Uncontended duration of one transfer (store-and-forward)."""

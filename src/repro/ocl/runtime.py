@@ -7,7 +7,7 @@ from typing import Any, Dict, Generator, Iterable, List, Optional
 
 from repro.hw.node import Node
 from repro.hw.specs import DeviceKind, DeviceSpec
-from repro.simt.core import Event, Simulator
+from repro.simt.core import Event, Interrupt, Simulator
 from repro.simt.resources import Resource
 
 from repro.ocl.kernel import Kernel, KernelCost
@@ -64,6 +64,17 @@ class Device:
         if self.mem_used < 0:
             raise OCLError("device memory accounting underflow")
 
+    def _acquire_engine(self, engine: Resource) -> Generator:
+        """Interrupt-safe engine acquisition: a killed process (losing
+        speculative task, crashed node) withdraws its queued request so
+        the engine cannot be granted to a dead waiter and wedge."""
+        request = engine.acquire()
+        try:
+            yield request
+        except Interrupt:
+            engine.cancel(request)
+            raise
+
     # -- operations (process-style generators) -----------------------------
     def run_kernel(self, kernel: Kernel, args: Dict[str, Any],
                    threads: Optional[int] = None) -> Generator:
@@ -87,7 +98,7 @@ class Device:
             work = duration * self.spec.compute_units
             yield self.node.cpu.run(n, work, tag=f"kernel:{kernel.name}")
         else:
-            yield self._exec_engine.acquire()
+            yield from self._acquire_engine(self._exec_engine)
             try:
                 yield self.sim.timeout(duration)
             finally:
@@ -121,7 +132,7 @@ class Device:
             if threads is not None:
                 util = max(1.0 / self.spec.compute_units,
                            min(1.0, threads / self.spec.compute_units))
-            yield self._exec_engine.acquire()
+            yield from self._acquire_engine(self._exec_engine)
             try:
                 yield self.sim.timeout(overhead + roofline / util)
             finally:
@@ -133,7 +144,7 @@ class Device:
             raise ValueError(f"unknown transfer direction {direction!r}")
         if self.spec.unified_memory or nbytes == 0:
             return
-        yield self._dma_engine.acquire()
+        yield from self._acquire_engine(self._dma_engine)
         try:
             yield self.sim.timeout(nbytes / self.spec.transfer_bw)
             self.bytes_transferred += nbytes

@@ -75,6 +75,22 @@ class Resource:
             self.in_use += want
             ev.succeed(want)
 
+    def cancel(self, request: Event) -> None:
+        """Withdraw an ``acquire`` request that will never be consumed.
+
+        Interrupted processes (a crashed node, a killed speculative task)
+        call this from their ``except Interrupt`` handlers: a request
+        still queued is removed; one already granted is released — either
+        way the tokens cannot leak into a dead process and wedge the
+        resource for every later user.
+        """
+        for i, (ev, _want) in enumerate(self._waiters):
+            if ev is request:
+                del self._waiters[i]
+                return
+        if request.triggered and request.ok:
+            self.release(request.value)
+
     def queue_length(self) -> int:
         """Number of pending acquire requests."""
         return len(self._waiters)

@@ -84,6 +84,12 @@ class DFS:
         self.node_fs: List[LocalFS] = [LocalFS(node) for node in cluster]
         self._meta: Dict[str, List[_Block]] = {}
         self._block_ids = itertools.count()
+        #: optional ClusterHealth view; when set, reads are served only
+        #: from replicas on live nodes (a crashed node's disk is gone)
+        self.health = None
+
+    def _replica_alive(self, node: int) -> bool:
+        return self.health is None or self.health.alive(node)
 
     # -- namespace -----------------------------------------------------------
     def exists(self, path: str) -> bool:
@@ -184,13 +190,17 @@ class DFS:
 
     def _read_block(self, block: _Block, offset: int, length: int,
                     reader: int, stream: str = "") -> Generator:
-        if reader in block.replicas:
+        live = [r for r in block.replicas if self._replica_alive(r)]
+        if not live:
+            raise FileNotFound(
+                f"{block.local_path}: every replica holder "
+                f"{block.replicas} is dead")
+        if reader in live:
             source = reader
         else:
             # Spread remote load over the replica holders instead of
             # hammering the first one.
-            source = block.replicas[(reader + block.block_id)
-                                    % len(block.replicas)]
+            source = live[(reader + block.block_id) % len(live)]
         # Consecutive blocks of one file stream off the replica's disk.
         data = yield from self.node_fs[source].read(
             block.local_path, offset, length,

@@ -1,0 +1,131 @@
+"""Property-based fault-tolerance guarantees (§III-E).
+
+Three properties over *random* fault schedules drawn from
+:meth:`FaultPlan.seeded`:
+
+1. **output invariance** — any schedule yields the fault-free output;
+2. **liveness** — the job always completes (the engine raises
+   ``RuntimeError`` on deadlock, so completion is the assertion);
+3. **monotone degradation** — job time never decreases as failures are
+   added to a schedule.
+
+Runs under `hypothesis` when importable and falls back to a fixed seed
+sweep otherwise, so the guarantees hold in minimal environments too.
+"""
+
+import functools
+
+import pytest
+
+from repro.apps import WordCountApp
+from repro.apps.datagen import wiki_text
+from repro.core import JobConfig, run_glasswing
+from repro.core.faults import FaultPlan
+from repro.hw.presets import das4_cluster
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:    # pragma: no cover - hypothesis is an optional extra
+    HAVE_HYPOTHESIS = False
+
+NODES = 3
+CHUNK = 32_768
+INPUT_BYTES = 200_000
+N_SPLITS = -(-INPUT_BYTES // CHUNK)
+FALLBACK_SEEDS = tuple(range(8))
+
+
+def _config(**kw):
+    return JobConfig(chunk_size=CHUNK, input_replication=NODES, **kw)
+
+
+def _run(faults=None, config=None):
+    return run_glasswing(WordCountApp(), {"wiki": wiki_text(INPUT_BYTES, seed=61)},
+                         das4_cluster(nodes=NODES), config or _config(),
+                         faults=faults)
+
+
+@functools.lru_cache(maxsize=1)
+def golden():
+    """Fault-free baseline (cached at module level: hypothesis examples
+    cannot use function-scoped fixtures)."""
+    return _run()
+
+
+def canonical(res):
+    return sorted(res.output_pairs(), key=repr)
+
+
+def _seeded_plan(seed: int) -> FaultPlan:
+    g = golden()
+    return FaultPlan.seeded(
+        seed, n_splits=N_SPLITS, n_nodes=NODES,
+        n_partitions=NODES * _config().partitions_per_node,
+        map_rate=0.4, reduce_rate=0.2, straggler_rate=0.3,
+        node_crash_count=seed % 2,
+        crash_window=(0.2 * g.map_time, 0.9 * g.map_time))
+
+
+def check_output_invariant(seed: int) -> None:
+    """Output invariance + liveness for one random schedule.  Odd seeds
+    also enable speculation, so the race path is fuzzed too."""
+    plan = _seeded_plan(seed)
+    cfg = _config(speculative_execution=bool(seed % 2))
+    res = _run(faults=plan, config=cfg)    # completing at all = no deadlock
+    assert canonical(res) == canonical(golden())
+    assert res.job_time >= golden().job_time * (1 - 1e-9)
+    if plan.node_crashes:
+        assert res.metrics.node_crashes <= len(plan.node_crashes)
+
+
+def check_monotone(seed: int) -> None:
+    """Adding failures to a schedule never makes the job faster."""
+    base = FaultPlan.seeded(seed, n_splits=N_SPLITS, map_rate=0.3)
+    grown = dict(base.map_failures)
+    grown[seed % N_SPLITS] = grown.get(seed % N_SPLITS, 0) + 1
+    t_base = _run(faults=FaultPlan(map_failures=base.map_failures)).job_time
+    t_grown = _run(faults=FaultPlan(map_failures=grown)).job_time
+    assert t_grown >= t_base * (1 - 1e-9)
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_random_schedules_preserve_output(seed):
+        check_output_invariant(seed)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_more_failures_never_faster(seed):
+        check_monotone(seed)
+
+else:    # pragma: no cover - exercised only without hypothesis
+
+    @pytest.mark.parametrize("seed", FALLBACK_SEEDS)
+    def test_random_schedules_preserve_output(seed):
+        check_output_invariant(seed)
+
+    @pytest.mark.parametrize("seed", FALLBACK_SEEDS[:4])
+    def test_more_failures_never_faster(seed):
+        check_monotone(seed)
+
+
+def test_failure_ladder_is_monotone():
+    """Deterministic ladder: 0..3 failures on split 0 gives a
+    non-decreasing job-time sequence."""
+    times = [_run(faults=FaultPlan(map_failures={0: k})).job_time
+             for k in range(4)]
+    assert times == sorted(times)
+    assert times[-1] > times[0]
+
+
+def test_seeded_plans_are_reproducible():
+    """The same seed always yields the same schedule object."""
+    a, b = _seeded_plan(1234), _seeded_plan(1234)
+    assert a.map_failures == b.map_failures
+    assert a.reduce_failures == b.reduce_failures
+    assert a.stragglers == b.stragglers
+    assert a.node_crashes == b.node_crashes
+    assert a.progress_at_failure == b.progress_at_failure

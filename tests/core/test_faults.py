@@ -6,7 +6,7 @@ from repro.apps import WordCountApp
 from repro.apps.datagen import wiki_text
 from repro.baselines.reference import run_reference
 from repro.core import JobConfig, run_glasswing
-from repro.core.faults import FaultInjector
+from repro.core.faults import FaultInjector, FaultPlan, NodeCrash
 from repro.hw.presets import das4_cluster
 
 from tests.conftest import assert_outputs_match
@@ -75,3 +75,62 @@ def test_zero_progress_failures_waste_nothing(inputs):
     run(inputs, faults=faults)
     # A task that dies instantly wastes (almost) no kernel time.
     assert faults.wasted_seconds < 1e-3
+
+
+# -- per-failure progress (the single-scalar generalisation) ----------------
+
+def test_progress_spec_validation():
+    """Every shape of ``progress_at_failure`` is range-checked up front,
+    not at lookup time — the old scalar-only check silently accepted
+    out-of-range values hidden inside sequences or mappings."""
+    for bad in (-0.1, 1.5, [0.2, 1.5], {0: -0.1}, {0: [0.3, 2.0]}):
+        with pytest.raises(ValueError):
+            FaultPlan(map_failures={0: 1}, progress_at_failure=bad)
+    for ok in (0.0, 1.0, [0.0, 0.5, 1.0], {0: 0.3, 1: [0.1, 0.9]}):
+        FaultPlan(map_failures={0: 1}, progress_at_failure=ok)
+
+
+def test_progress_per_attempt_sequence():
+    """A sequence is indexed by attempt; past its end, the last entry
+    sticks (retries keep dying at the same point)."""
+    plan = FaultPlan(progress_at_failure=[0.1, 0.6, 0.9])
+    assert plan.progress_for(0, 0) == 0.1
+    assert plan.progress_for(7, 1) == 0.6
+    assert plan.progress_for(7, 2) == 0.9
+    assert plan.progress_for(7, 5) == 0.9
+
+
+def test_progress_per_task_mapping():
+    """A mapping resolves per task key, each value a scalar or its own
+    per-attempt sequence; unmapped tasks fall back to the 0.5 default."""
+    plan = FaultPlan(progress_at_failure={2: 0.25, 4: [0.0, 1.0]})
+    assert plan.progress_for(2, 0) == 0.25
+    assert plan.progress_for(2, 3) == 0.25
+    assert plan.progress_for(4, 0) == 0.0
+    assert plan.progress_for(4, 1) == 1.0
+    assert plan.progress_for(9, 0) == 0.5
+
+
+def test_per_failure_progress_controls_wasted_time(inputs):
+    """Two failures at [0.0, then ~full] progress waste strictly more than
+    two instant deaths — the wasted-work accounting sees each failure's
+    own progress, not one global scalar."""
+    cheap = FaultInjector(fail_counts={0: 2}, progress_at_failure=[0.0, 0.0])
+    dear = FaultInjector(fail_counts={0: 2}, progress_at_failure=[0.0, 0.9])
+    run(inputs, faults=cheap)
+    run(inputs, faults=dear)
+    assert dear.wasted_seconds > cheap.wasted_seconds
+    assert cheap.wasted_seconds < 1e-3
+
+
+def test_fault_plan_validation():
+    with pytest.raises(ValueError):
+        FaultPlan(reduce_failures={1: -2})
+    with pytest.raises(ValueError):
+        FaultPlan(stragglers={0: 0.5})    # slowdown must be >= 1
+    with pytest.raises(ValueError):
+        FaultPlan(node_crashes=(NodeCrash(1, 0.1), NodeCrash(1, 0.2)))
+    with pytest.raises(ValueError):
+        NodeCrash(node=-1, at=0.0)
+    with pytest.raises(ValueError):
+        NodeCrash(node=0, at=-1.0)

@@ -51,6 +51,40 @@ def test_gpmr_runs_are_bit_identical():
     assert a.io_time == b.io_time
 
 
+def test_faulted_runs_are_bit_identical():
+    """A seeded fault schedule — node crash, task failures, stragglers
+    with speculation — replays to an identical span timeline: recovery
+    and the speculative races are as deterministic as the clean path."""
+    from repro.core.faults import FaultPlan
+
+    inputs = {"wiki": wiki_text(300_000, seed=116)}
+    cfg = JobConfig(chunk_size=65_536, input_replication=3,
+                    speculative_execution=True)
+
+    def run_once():
+        plan = FaultPlan.seeded(777, n_splits=5, n_nodes=3,
+                                n_partitions=3 * cfg.partitions_per_node,
+                                map_rate=0.5, reduce_rate=0.3,
+                                straggler_rate=0.5, node_crash_count=1,
+                                crash_window=(0.0005, 0.002))
+        res = run_glasswing(WordCountApp(), inputs, das4_cluster(nodes=3),
+                            cfg, faults=plan)
+        return plan, res
+
+    plan_a, a = run_once()
+    plan_b, b = run_once()
+    assert plan_a.map_failures == plan_b.map_failures
+    assert plan_a.node_crashes == plan_b.node_crashes
+    assert a.job_time == b.job_time
+    assert a.stats == b.stats
+    assert sorted(a.output_pairs()) == sorted(b.output_pairs())
+    spans_a = [(s.category, s.name, s.start, s.end)
+               for s in a.timeline.spans]
+    spans_b = [(s.category, s.name, s.start, s.end)
+               for s in b.timeline.spans]
+    assert spans_a == spans_b
+
+
 def test_terasort_timeline_identical():
     data = teragen(2_000, seed=115)
     cfg = JobConfig(chunk_size=20_000, output_replication=1,
