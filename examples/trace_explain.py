@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Observability end to end: traces, reports, critical paths.
+
+Runs a 4-node wordcount, then turns the run's span timeline into the
+three artefacts the obs package offers:
+
+1. a Chrome trace-event file — load it in chrome://tracing or
+   https://ui.perfetto.dev to see one lane per node, one thread row per
+   pipeline stage;
+2. a :class:`PipelineReport` — dominant stage, overlap factor, and the
+   critical-path attribution of the map phase's elapsed time;
+3. the structured job report (``result.to_report()``), comparing double
+   vs single buffering: the overlap factor collapsing towards 1.0 is
+   the §III-D payoff made measurable.
+
+    python examples/trace_explain.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.apps import WordCountApp
+from repro.apps.datagen import wiki_text
+from repro.core import JobConfig, run_glasswing
+from repro.hw.presets import das4_cluster
+from repro.obs import PipelineReport, write_chrome_trace
+
+APP = WordCountApp()
+INPUTS = {"corpus": wiki_text(2 * 1024 * 1024, seed=11)}
+
+
+def run(buffering: int):
+    config = JobConfig(chunk_size=128 * 1024, buffering=buffering)
+    return run_glasswing(APP, INPUTS, das4_cluster(nodes=4), config)
+
+
+def main() -> None:
+    double = run(buffering=2)
+    single = run(buffering=1)
+
+    # -- 1. Chrome trace -------------------------------------------------
+    out = Path(tempfile.gettempdir()) / "wordcount.trace.json"
+    write_chrome_trace(double.timeline, str(out))
+    n_events = len(json.loads(out.read_text())["traceEvents"])
+    print(f"trace: {out} ({n_events} events) — open in ui.perfetto.dev")
+
+    # -- 2. pipeline analysis --------------------------------------------
+    print()
+    print(PipelineReport(double.timeline, phase="map").explain())
+
+    # -- 3. job report: buffering ablation -------------------------------
+    print()
+    for label, result in (("double", double), ("single", single)):
+        phase = result.to_report()["phases"]["map"]
+        print(f"{label} buffering: map elapsed {phase['elapsed']:.4f} s, "
+              f"overlap factor {phase['overlap_factor']:.2f}x, "
+              f"dominant stage {phase['dominant_stage']}")
+    d = double.to_report()["phases"]["map"]["overlap_factor"]
+    s = single.to_report()["phases"]["map"]["overlap_factor"]
+    assert d > s, "double buffering should overlap more than single"
+    print("double buffering overlaps the stages; single serialises them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -63,6 +63,9 @@ def main(argv=None) -> int:
     parser.add_argument("--output", metavar="DIR", default=None,
                         help="also write each experiment's report to "
                              "DIR/<experiment>.md")
+    parser.add_argument("--trace-dir", metavar="DIR", default=None,
+                        help="write Chrome traces of runs the experiments "
+                             "kept a timeline for (chrome://tracing)")
     args = parser.parse_args(argv)
 
     out_dir = None
@@ -83,6 +86,9 @@ def main(argv=None) -> int:
             rendered.append(text)
             if not report.all_passed:
                 failures += 1
+            if args.trace_dir and report.timelines:
+                for path in report.export_traces(args.trace_dir):
+                    print(f"trace: {path}")
         if out_dir is not None:
             (out_dir / f"{name}.md").write_text(
                 f"# {name}\n\n```\n" + "\n\n".join(rendered) + "\n```\n")

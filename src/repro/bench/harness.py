@@ -98,9 +98,35 @@ class ExperimentReport:
     tables: List[Table] = field(default_factory=list)
     checks: List[ShapeCheck] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    timelines: Dict[str, Any] = field(default_factory=dict)
 
     def check(self, name: str, passed: bool, detail: str = "") -> None:
         self.checks.append(ShapeCheck(name, bool(passed), detail))
+
+    def attach_timeline(self, label: str, timeline: Any) -> None:
+        """Keep a run's timeline so :meth:`export_traces` can dump it."""
+        self.timelines[label] = timeline
+
+    def export_traces(self, directory: str) -> List[str]:
+        """Write one Chrome trace per attached timeline into ``directory``.
+
+        File names are ``<experiment>-<label>.trace.json`` with the
+        experiment and label slugs lower-cased and filesystem-safe.
+        """
+        from pathlib import Path
+        from repro.obs import write_chrome_trace
+
+        def slug(text: str) -> str:
+            return "".join(c if c.isalnum() or c in "-_." else "-"
+                           for c in text.lower()).strip("-")
+
+        out = Path(directory)
+        out.mkdir(parents=True, exist_ok=True)
+        written = []
+        for label, timeline in self.timelines.items():
+            path = out / f"{slug(self.experiment)}-{slug(label)}.trace.json"
+            written.append(write_chrome_trace(timeline, str(path)))
+        return written
 
     @property
     def all_passed(self) -> bool:

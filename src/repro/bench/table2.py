@@ -75,6 +75,7 @@ def report() -> ExperimentReport:
         res = run_glasswing(WordCountApp(), inputs, das4_cluster(nodes=1),
                             cfg)
         results[name] = res
+        rep.attach_timeline(name, res.timeline)
         bd = res.metrics.breakdown("map", "node0")
         table.add_row(config=name, input=bd["input"], kernel=bd["kernel"],
                       partitioning=bd["output"], map_elapsed=res.map_time,

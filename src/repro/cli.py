@@ -12,6 +12,11 @@ Fault tolerance (§III-E) is driven from the same entry point::
 
     python -m repro wordcount --node-crash 1@0.5 --fail-map 0 --fail-map 3
     python -m repro terasort --fault-seed 7 --map-rate 0.3 --speculate
+
+Observability (traces and reports)::
+
+    python -m repro wordcount --nodes 4 --trace-out trace.json   # Perfetto
+    python -m repro terasort --report-json report.json --explain
 """
 
 from __future__ import annotations
@@ -86,6 +91,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "--fault-seed")
     faults.add_argument("--speculate", action="store_true",
                         help="enable speculative re-execution of stragglers")
+    obs = parser.add_argument_group("observability")
+    obs.add_argument("--trace-out", metavar="FILE.json", default=None,
+                     help="write a Chrome trace-event file (load in "
+                          "chrome://tracing or https://ui.perfetto.dev)")
+    obs.add_argument("--report-json", metavar="FILE", default=None,
+                     help="write the structured job report as JSON")
+    obs.add_argument("--explain", action="store_true",
+                     help="print per-phase dominant-stage / critical-path "
+                          "analysis")
     return parser
 
 
@@ -203,6 +217,19 @@ def main(argv=None) -> int:
         print(f"    {stage:<9} {seconds:.4f} s")
     n_out = sum(len(v) for v in result.output.values())
     print(f"  output pairs {n_out}")
+    if args.explain:
+        from repro.obs import PipelineReport
+        for phase in ("map", "reduce"):
+            print(PipelineReport(result.timeline, phase=phase).explain())
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+        print(f"  trace written to "
+              f"{write_chrome_trace(result.timeline, args.trace_out)}")
+    if args.report_json:
+        import json
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(result.to_report(), fh, indent=2)
+        print(f"  report written to {args.report_json}")
     return 0
 
 

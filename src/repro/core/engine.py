@@ -68,8 +68,29 @@ class GlasswingResult:
             yield from self.output[pid]
 
     def sorted_output(self) -> List[Tuple[Any, Any]]:
-        """Output pairs sorted by key — canonical form for comparisons."""
-        return sorted(self.output_pairs(), key=lambda kv: repr(kv[0]))
+        """Output pairs sorted by key — canonical form for comparisons.
+
+        Keys sort by their natural order (so integer keys sort
+        numerically, not as ``repr`` strings where "10" < "2"), grouped
+        by type name so mixed-type key sets still have a total order;
+        keys of a type without a natural order fall back to ``repr``
+        within their type group.
+        """
+        pairs = list(self.output_pairs())
+        try:
+            return sorted(pairs,
+                          key=lambda kv: (kv[0].__class__.__name__, kv[0]))
+        except TypeError:
+            return sorted(pairs, key=lambda kv: (kv[0].__class__.__name__,
+                                                 repr(kv[0])))
+
+    def to_report(self) -> Dict[str, Any]:
+        """Structured JSON-serialisable job report: stats, per-stage
+        breakdowns, utilization/overlap analysis, fault/recovery metrics
+        and the monotonic byte/slot/wait counters (see
+        :mod:`repro.obs.report` for the schema)."""
+        from repro.obs.report import build_job_report
+        return build_job_report(self)
 
 
 def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
@@ -242,6 +263,13 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
         "task_failures": faults.total_failures if faults else 0,
         "speculative_launches": speculation.launches if speculation else 0,
         "speculative_wins": speculation.wins if speculation else 0,
+        # Buffer-slot balance: every acquired pipeline slot must be
+        # returned, even by pipelines a node crash killed mid-flight
+        # (phantom occupancy would poison the utilization reports).
+        "leaked_buffer_slots": (
+            sum(mp.pipeline.slots_leaked for mp in map_phases)
+            + sum(rp.pipeline.slots_leaked
+                  for rp in result_box["reduce_phases"])),
     }
     # Pending fault-plan events (a crash timer that lost its race, a
     # speculation watchdog) can outlive the job in the event heap, so the

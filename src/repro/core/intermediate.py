@@ -220,7 +220,7 @@ class IntermediateManager:
         self._disk_runs[pid].append(DiskRun(path, merged.pairs, raw, stored))
         self.spilled_bytes += stored
         self.timeline.record("merge.flush", self.node.name, start, self.sim.now,
-                             pid=pid, items=items)
+                             pid=pid, items=items, bytes=stored, raw_bytes=raw)
         if len(self._disk_runs[pid]) > self.config.max_intermediate_files:
             self._enqueue(("compact", pid))
 
@@ -246,7 +246,8 @@ class IntermediateManager:
         yield from self.node.disk.write(stored, stream=path)
         self._disk_runs[pid].append(DiskRun(path, merged.pairs, raw, stored))
         self.timeline.record("merge.compact", self.node.name, start,
-                             self.sim.now, pid=pid, stored_in=stored_in)
+                             self.sim.now, pid=pid, stored_in=stored_in,
+                             bytes=stored, raw_bytes=raw)
 
     # -- helpers ----------------------------------------------------------------
     def _merge_runs(self, runs: List[SortedRun]) -> SortedRun:

@@ -22,9 +22,9 @@ unified memory (CPU devices), as in the paper.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
-from repro.simt.core import Simulator
+from repro.simt.core import Interrupt, Simulator
 from repro.simt.resources import BufferPool, Store, StoreClosed
 from repro.simt.trace import Timeline
 
@@ -84,6 +84,10 @@ class Pipeline:
         self.outputs: List[Any] = []
         self.killed = False
         self._stage_procs: List = []
+        # Queues still holding (slot, payload) tuples when the pipeline is
+        # killed; kill()'s reaper drains them so the slots return to their
+        # pool instead of leaking with the dropped chunks.
+        self._slot_queues: List[Tuple[Store, BufferPool]] = []
 
     # -- public ------------------------------------------------------------
     def run(self):
@@ -95,11 +99,25 @@ class Pipeline:
         process is interrupted at its current yield point, discarding the
         in-flight chunks.  The driver then completes normally with the
         outputs produced so far; the engine's recovery layer is
-        responsible for re-executing what was lost."""
+        responsible for re-executing what was lost.
+
+        Buffer-slot accounting survives the crash: interrupted stages
+        release the slots they hold from their interrupt handlers, and a
+        reaper process (scheduled after every interrupt has been
+        delivered) drains the inter-stage queues, returning the slots of
+        the discarded in-flight chunks to their pools."""
         self.killed = True
         for proc in self._stage_procs:
             if proc.is_alive:
                 proc.interrupt("node crash")
+        if self._slot_queues:
+            self.sim.process(self._reap(),
+                             name=f"{self.instance}.{self.name}.reap")
+
+    @property
+    def slots_leaked(self) -> int:
+        """Buffer slots still held once the pipeline has terminated."""
+        return self.in_pool.outstanding + self.out_pool.outstanding
 
     # -- internals --------------------------------------------------------------
     def _drive(self) -> Generator:
@@ -109,15 +127,21 @@ class Pipeline:
         q_stage = Store(sim, name=f"{self.name}.q.stage")
         q_kernel = Store(sim, name=f"{self.name}.q.kernel")
         q_retrieve = Store(sim, name=f"{self.name}.q.retrieve")
+        # Items queued before the kernel carry input-group slots; items
+        # queued after it carry output-group slots.
+        self._slot_queues = [(q_read, self.in_pool), (q_stage, self.in_pool),
+                             (q_kernel, self.out_pool),
+                             (q_retrieve, self.out_pool)]
 
         procs = [
             sim.process(self._input_stage(q_read), name=f"{self.name}.input"),
-            sim.process(self._mid_stage("stage", self.stage_fn, q_read, q_stage),
+            sim.process(self._mid_stage("stage", self.stage_fn, q_read, q_stage,
+                                        self.in_pool),
                         name=f"{self.name}.stage"),
             sim.process(self._kernel_stage(q_stage, q_kernel),
                         name=f"{self.name}.kernel"),
             sim.process(self._mid_stage("retrieve", self.retrieve_fn,
-                                        q_kernel, q_retrieve),
+                                        q_kernel, q_retrieve, self.out_pool),
                         name=f"{self.name}.retrieve"),
             sim.process(self._output_stage(q_retrieve),
                         name=f"{self.name}.output"),
@@ -125,59 +149,139 @@ class Pipeline:
         self._stage_procs = procs
         yield sim.all_of(procs)
         self.elapsed = sim.now - start
-        self.timeline.record(f"{self.name}.elapsed", self.instance,
-                             start, sim.now)
+        self.timeline.record(
+            f"{self.name}.elapsed", self.instance, start, sim.now,
+            slots_acquired=self.in_pool.acquired + self.out_pool.acquired,
+            slots_released=self.in_pool.released + self.out_pool.released,
+            slots_leaked=self.slots_leaked,
+            items=len(self.outputs), killed=self.killed)
         return self.outputs
+
+    def _reap(self) -> Generator:
+        """Post-kill slot reclamation: runs after the interrupt hooks have
+        been delivered (same virtual time, later event order), so stage
+        handlers have already cancelled their pending acquires and the
+        queued chunks are truly orphaned."""
+        yield self.sim.timeout(0.0)
+        for queue, pool in self._slot_queues:
+            while len(queue):
+                slot, _payload = (yield queue.get())
+                pool.release(slot)
 
     def _span(self, stage: str, start: float, **meta: Any) -> None:
         self.timeline.record(f"{self.name}.{stage}", self.instance,
                              start, self.sim.now, **meta)
 
+    @staticmethod
+    def _payload_meta(payload: Any) -> dict:
+        """Byte/chunk counters carried by the data units (observability)."""
+        meta = {}
+        nbytes = getattr(payload, "nbytes", None)
+        if nbytes is None:
+            nbytes = getattr(payload, "raw_bytes", None)
+        if nbytes is not None:
+            meta["bytes"] = nbytes
+        chunk = getattr(payload, "index", None)
+        if chunk is None:
+            chunk = getattr(payload, "chunk_index", None)
+        if chunk is not None:
+            meta["chunk"] = chunk
+        return meta
+
     def _input_stage(self, downstream: Store) -> Generator:
-        for item in self.items:
-            slot = yield self.in_pool.acquire()
+        for i, item in enumerate(self.items):
+            t_req = self.sim.now
+            acq = self.in_pool.acquire()
+            try:
+                slot = yield acq
+            except Interrupt:
+                self.in_pool.cancel(acq)
+                raise
+            slot_wait = self.sim.now - t_req
             start = self.sim.now
-            payload = yield from self.read_fn(item)
-            self._span("input", start)
+            try:
+                payload = yield from self.read_fn(item)
+            except Interrupt:
+                self.in_pool.release(slot)
+                raise
+            self._span("input", start, slot=slot, slot_wait=slot_wait,
+                       **self._payload_meta(payload))
             yield downstream.put((slot, payload))
         downstream.close()
 
     def _mid_stage(self, stage_name: str, fn: Optional[StageFn],
-                   upstream: Store, downstream: Store) -> Generator:
+                   upstream: Store, downstream: Store,
+                   pool: BufferPool) -> Generator:
         while True:
+            t_req = self.sim.now
             try:
                 slot, payload = yield upstream.get()
             except StoreClosed:
                 downstream.close()
                 return
+            queue_wait = self.sim.now - t_req
             if fn is not None:
                 start = self.sim.now
-                payload = yield from fn(payload)
-                self._span(stage_name, start)
+                try:
+                    payload = yield from fn(payload)
+                except Interrupt:
+                    pool.release(slot)
+                    raise
+                self._span(stage_name, start, queue_wait=queue_wait,
+                           **self._payload_meta(payload))
+            else:
+                # Unified memory: the stage is a pass-through.  A
+                # zero-length marker span keeps the five-stage shape
+                # visible to trace exporters and breakdown tables.
+                self._span(stage_name, self.sim.now, passthrough=True,
+                           **self._payload_meta(payload))
             yield downstream.put((slot, payload))
 
     def _kernel_stage(self, upstream: Store, downstream: Store) -> Generator:
         while True:
+            t_req = self.sim.now
             try:
                 in_slot, payload = yield upstream.get()
             except StoreClosed:
                 downstream.close()
                 return
-            out_slot = yield self.out_pool.acquire()
+            queue_wait = self.sim.now - t_req
+            t_slot = self.sim.now
+            acq = self.out_pool.acquire()
+            try:
+                out_slot = yield acq
+            except Interrupt:
+                self.out_pool.cancel(acq)
+                self.in_pool.release(in_slot)
+                raise
+            slot_wait = self.sim.now - t_slot
             start = self.sim.now
-            result = yield from self.kernel_fn(payload)
+            try:
+                result = yield from self.kernel_fn(payload)
+            except Interrupt:
+                self.in_pool.release(in_slot)
+                self.out_pool.release(out_slot)
+                raise
             self.in_pool.release(in_slot)
-            self._span("kernel", start)
+            self._span("kernel", start, slot=out_slot, slot_wait=slot_wait,
+                       queue_wait=queue_wait, **self._payload_meta(result))
             yield downstream.put((out_slot, result))
 
     def _output_stage(self, upstream: Store) -> Generator:
         while True:
+            t_req = self.sim.now
             try:
                 slot, payload = yield upstream.get()
             except StoreClosed:
                 return
+            queue_wait = self.sim.now - t_req
             start = self.sim.now
-            sunk = yield from self.output_fn(payload)
+            try:
+                sunk = yield from self.output_fn(payload)
+            except Interrupt:
+                self.out_pool.release(slot)
+                raise
             self.out_pool.release(slot)
-            self._span("output", start)
+            self._span("output", start, queue_wait=queue_wait,
+                       **self._payload_meta(payload))
             self.outputs.append(sunk if sunk is not None else payload)

@@ -96,6 +96,8 @@ class Network:
         except Interrupt:
             self._tx[src].cancel(tx_req)
             raise
+        tx_wait = self.sim.now - start
+        t_fab = self.sim.now
         fab_req = self._fabric.acquire()
         try:
             yield fab_req
@@ -103,18 +105,21 @@ class Network:
             self._fabric.cancel(fab_req)
             self._tx[src].release()
             raise
+        fabric_wait = self.sim.now - t_fab
         try:
             yield self.sim.timeout(wire_time)
         finally:
             self._tx[src].release()
             self._fabric.release()
         yield self.sim.timeout(self.spec.latency)
+        t_rx = self.sim.now
         rx_req = self._rx[dst].acquire()
         try:
             yield rx_req
         except Interrupt:
             self._rx[dst].cancel(rx_req)
             raise
+        rx_wait = self.sim.now - t_rx
         try:
             yield self.sim.timeout(wire_time)
         finally:
@@ -126,7 +131,8 @@ class Network:
         if self.timeline is not None:
             self.timeline.record("net.transfer", f"{src}->{dst}",
                                  start, self.sim.now, bytes=nbytes,
-                                 delivered=delivered)
+                                 delivered=delivered, tx_wait=tx_wait,
+                                 fabric_wait=fabric_wait, rx_wait=rx_wait)
         return delivered
 
     def time_for(self, nbytes: int) -> float:

@@ -1,0 +1,29 @@
+"""Observability: trace export and pipeline analysis.
+
+The paper's whole evaluation (§IV-B, Tables II/III, Figures 4/5) is
+per-stage timer data; this package turns the raw :class:`~repro.simt.trace.Timeline`
+into artefacts a human (or a dashboard) can consume:
+
+* :mod:`repro.obs.chrome` — Chrome trace-event JSON export
+  (``chrome://tracing`` / Perfetto), one process row per node, one
+  thread row per pipeline stage;
+* :mod:`repro.obs.report` — :class:`PipelineReport` (per-stage
+  utilization, overlap factor, dominant stage, critical-path
+  attribution) and the structured job report behind
+  :meth:`GlasswingResult.to_report`.
+"""
+
+from repro.obs.chrome import (chrome_trace_events, to_chrome_trace,
+                              write_chrome_trace)
+from repro.obs.report import (PIPELINE_STAGES, PipelineReport,
+                              aggregate_counters, build_job_report)
+
+__all__ = [
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "PIPELINE_STAGES",
+    "PipelineReport",
+    "aggregate_counters",
+    "build_job_report",
+]

@@ -1,0 +1,276 @@
+"""Pipeline analysis and the structured job report.
+
+Three layers of digestion over the raw span timeline:
+
+* :class:`PipelineReport` — one phase on one node: per-stage
+  utilization (occupied/elapsed), the overlap factor (stage sum over
+  elapsed — the paper's "elapsed converges to the dominant stage"
+  claim is exactly ``overlap_factor > 1``), the dominant stage, and a
+  **critical-path walk** over the five-stage dependency chain that
+  attributes every elapsed second to the deepest stage active at that
+  instant — or to *buffer-wait* when the interlock left all five idle.
+* :func:`aggregate_counters` — the monotonic byte/slot/wait counters
+  the pipeline, merger and network record as span meta.
+* :func:`build_job_report` — the JSON document behind
+  :meth:`GlasswingResult.to_report`, unifying stats, breakdowns,
+  fault/recovery metrics and counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from enum import Enum
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.simt.trace import Timeline
+
+__all__ = ["PIPELINE_STAGES", "PipelineReport", "aggregate_counters",
+           "build_job_report"]
+
+PIPELINE_STAGES = ("input", "stage", "kernel", "retrieve", "output")
+
+_EPS = 1e-12
+
+
+class PipelineReport:
+    """Utilization/overlap/critical-path analysis of one pipeline phase.
+
+    ``node=None`` resolves to the *critical node*: the instance whose
+    ``{phase}.elapsed`` span ends last, i.e. the one that gated the
+    phase's completion — per-node analysis of any other node answers
+    "why was this node slow", the critical node answers "why was the
+    job slow".
+    """
+
+    def __init__(self, timeline: Timeline, phase: str = "map",
+                 node: Optional[str] = None):
+        self.timeline = timeline
+        self.phase = phase
+        self.node = node if node is not None else self._critical_node()
+
+    # -- node resolution ---------------------------------------------------
+    def _critical_node(self) -> Optional[str]:
+        spans = self.timeline.by_category(f"{self.phase}.elapsed")
+        if not spans:
+            return None
+        return max(spans, key=lambda s: (s.end, s.name)).name
+
+    # -- basic stage numbers -----------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock extent of the phase on the analysed node."""
+        return self.timeline.span_extent(f"{self.phase}.elapsed",
+                                         name=self.node)
+
+    def occupied(self, stage: str) -> float:
+        """Active (union) time of one stage on the analysed node."""
+        return self.timeline.occupied_time(f"{self.phase}.{stage}",
+                                           name=self.node)
+
+    def stage_occupied(self) -> Dict[str, float]:
+        """Stage -> active time for the analysed node."""
+        return {stage: self.occupied(stage) for stage in PIPELINE_STAGES}
+
+    def utilization(self) -> Dict[str, float]:
+        """Stage -> occupied/elapsed (the per-stage duty cycle)."""
+        elapsed = self.elapsed
+        if elapsed <= 0:
+            return {stage: 0.0 for stage in PIPELINE_STAGES}
+        return {stage: occ / elapsed
+                for stage, occ in self.stage_occupied().items()}
+
+    @property
+    def overlap_factor(self) -> float:
+        """Sum of stage active times over elapsed; > 1 means the stages
+        genuinely ran concurrently (the §III-D buffering payoff)."""
+        elapsed = self.elapsed
+        if elapsed <= 0:
+            return 0.0
+        return sum(self.stage_occupied().values()) / elapsed
+
+    @property
+    def dominant_stage(self) -> Optional[str]:
+        """The stage with the largest active time (``None`` when idle)."""
+        occupied = self.stage_occupied()
+        if not any(occupied.values()):
+            return None
+        return max(occupied, key=lambda s: occupied[s])
+
+    # -- critical path -----------------------------------------------------
+    def critical_path(self) -> Dict[str, float]:
+        """Attribute the phase's elapsed time along the dependency chain.
+
+        Walks backwards from the phase end: at every instant the elapsed
+        second is charged to the *deepest* pipeline stage active then
+        (the output stage gates completion ahead of retrieve, retrieve
+        ahead of kernel, …); instants where no stage is active are
+        buffer-wait — the §III-D interlock (or queue starvation) holding
+        every stage idle.  The returned attribution sums to ``elapsed``.
+        """
+        attribution = {stage: 0.0 for stage in PIPELINE_STAGES}
+        attribution["wait"] = 0.0
+        window = [s for s in self.timeline.by_category(f"{self.phase}.elapsed")
+                  if self.node is None or s.name == self.node]
+        if not window:
+            return attribution
+        t0 = min(s.start for s in window)
+        t1 = max(s.end for s in window)
+        spans: List[Tuple[float, float, int]] = []
+        for rank, stage in enumerate(PIPELINE_STAGES):
+            for s in self.timeline.by_category(f"{self.phase}.{stage}"):
+                if s.name == self.node and s.duration > 0:
+                    spans.append((s.start, s.end, rank))
+        t = t1
+        while t > t0 + _EPS:
+            covering = [sp for sp in spans if sp[0] < t - _EPS and sp[1] >= t - _EPS]
+            if covering:
+                start, _end, rank = max(covering, key=lambda sp: sp[2])
+                lo = max(start, t0)
+                attribution[PIPELINE_STAGES[rank]] += t - lo
+                t = lo
+            else:
+                prev = max((sp[1] for sp in spans if sp[1] < t - _EPS),
+                           default=t0)
+                prev = max(prev, t0)
+                attribution["wait"] += t - prev
+                t = prev
+        return attribution
+
+    # -- rendering ---------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable summary of the analysis."""
+        return {
+            "phase": self.phase,
+            "node": self.node,
+            "elapsed": self.elapsed,
+            "occupied": self.stage_occupied(),
+            "utilization": self.utilization(),
+            "overlap_factor": self.overlap_factor,
+            "dominant_stage": self.dominant_stage,
+            "critical_path": self.critical_path(),
+        }
+
+    def explain(self) -> str:
+        """Human-readable dominant-stage analysis (the CLI's --explain)."""
+        elapsed = self.elapsed
+        lines = [f"{self.phase} pipeline — critical node "
+                 f"{self.node or '(none)'}"]
+        if elapsed <= 0:
+            lines.append("  (no activity recorded for this phase)")
+            return "\n".join(lines)
+        occupied = self.stage_occupied()
+        util = self.utilization()
+        dominant = self.dominant_stage
+        lines.append(f"  elapsed           {elapsed:.4f} s")
+        lines.append(f"  overlap factor    {self.overlap_factor:.2f}x "
+                     f"(stage sum {sum(occupied.values()):.4f} s)")
+        if dominant is not None:
+            lines.append(f"  dominant stage    {dominant} — occupied "
+                         f"{occupied[dominant]:.4f} s, "
+                         f"{100 * util[dominant]:.0f}% utilization")
+        lines.append("  stage utilization "
+                     + "  ".join(f"{s} {100 * util[s]:.0f}%"
+                                 for s in PIPELINE_STAGES))
+        path = self.critical_path()
+        parts = sorted(((v, k) for k, v in path.items() if v > 0),
+                       reverse=True)
+        lines.append("  critical path     "
+                     + ", ".join(f"{'buffer-wait' if k == 'wait' else k} "
+                                 f"{100 * v / elapsed:.1f}%"
+                                 for v, k in parts))
+        return "\n".join(lines)
+
+
+def aggregate_counters(timeline: Timeline) -> Dict[str, Any]:
+    """Roll the span-meta counters up into job-level monotonic totals."""
+    counters: Dict[str, Any] = {
+        "bytes_read": 0, "bytes_staged": 0, "bytes_retrieved": 0,
+        "bytes_output": 0, "bytes_shuffled": 0, "bytes_spilled": 0,
+        "transfers": 0, "slots_acquired": 0, "slots_released": 0,
+        "slots_leaked": 0, "queue_wait_seconds": 0.0,
+        "slot_wait_seconds": 0.0, "net_wait_seconds": 0.0,
+    }
+    for span in timeline.spans:
+        meta = span.meta
+        if span.category == "net.transfer":
+            counters["bytes_shuffled"] += meta.get("bytes", 0)
+            counters["transfers"] += 1
+            counters["net_wait_seconds"] += (meta.get("tx_wait", 0.0)
+                                             + meta.get("fabric_wait", 0.0)
+                                             + meta.get("rx_wait", 0.0))
+            continue
+        if span.category in ("merge.flush", "merge.compact"):
+            counters["bytes_spilled"] += meta.get("bytes", 0)
+            continue
+        stage = span.category.rpartition(".")[2]
+        if stage == "elapsed":
+            counters["slots_acquired"] += meta.get("slots_acquired", 0)
+            counters["slots_released"] += meta.get("slots_released", 0)
+            counters["slots_leaked"] += meta.get("slots_leaked", 0)
+        elif stage == "input":
+            counters["bytes_read"] += meta.get("bytes", 0)
+        elif stage == "stage":
+            counters["bytes_staged"] += meta.get("bytes", 0)
+        elif stage == "retrieve":
+            counters["bytes_retrieved"] += meta.get("bytes", 0)
+        elif stage == "output":
+            counters["bytes_output"] += meta.get("bytes", 0)
+        counters["queue_wait_seconds"] += meta.get("queue_wait", 0.0)
+        counters["slot_wait_seconds"] += meta.get("slot_wait", 0.0)
+    return counters
+
+
+def _json_safe(value: Any) -> Any:
+    """Recursively clamp a value to JSON-encodable types."""
+    if isinstance(value, Enum):
+        return value.name
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_json_safe(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _json_safe(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    return repr(value)
+
+
+def build_job_report(result) -> Dict[str, Any]:
+    """The structured job report (``GlasswingResult.to_report``).
+
+    ``result`` is duck-typed (a :class:`~repro.core.engine.GlasswingResult`)
+    to keep this module free of engine imports.
+    """
+    timeline = result.timeline
+    metrics = result.metrics
+    phases = {}
+    for phase in ("map", "reduce"):
+        phases[phase] = PipelineReport(timeline, phase=phase).to_dict()
+    return {
+        "schema": "glasswing-report/1",
+        "app": result.app_name,
+        "nodes": result.n_nodes,
+        "times": {
+            "job": result.job_time,
+            "map": result.map_time,
+            "merge_delay": result.merge_delay,
+            "reduce": result.reduce_time,
+        },
+        "config": _json_safe(result.config),
+        "stats": _json_safe(result.stats),
+        "phases": phases,
+        "breakdowns": {
+            "map": metrics.breakdown("map"),
+            "reduce": metrics.breakdown("reduce"),
+        },
+        "faults": {
+            "node_crashes": metrics.node_crashes,
+            "reexecutions": metrics.reexecutions,
+            "wasted_seconds": metrics.wasted_seconds,
+            "recovery_seconds": metrics.recovery_time,
+            "speculative_launches": metrics.speculative_launches,
+            "speculative_wins": metrics.speculative_wins,
+        },
+        "counters": aggregate_counters(timeline),
+    }

@@ -228,11 +228,16 @@ class BufferPool:
         self.slots = slots
         self._free: Deque[int] = deque(range(slots))
         self._waiters: Deque[Event] = deque()
+        #: monotonic grant/return counters (observability: a crashed
+        #: pipeline that leaks a slot shows up as acquired > released)
+        self.acquired = 0
+        self.released = 0
 
     def acquire(self) -> Event:
         """Event fires with a free slot index."""
         ev = Event(self.sim)
         if self._free:
+            self.acquired += 1
             ev.succeed(self._free.popleft())
         else:
             self._waiters.append(ev)
@@ -244,14 +249,36 @@ class BufferPool:
             raise SimulationError(f"unknown buffer slot {slot}")
         if slot in self._free:
             raise SimulationError(f"double release of buffer slot {slot}")
+        self.released += 1
         if self._waiters:
+            self.acquired += 1
             self._waiters.popleft().succeed(slot)
         else:
             self._free.append(slot)
 
+    def cancel(self, request: Event) -> None:
+        """Withdraw an :meth:`acquire` request that will never be consumed.
+
+        Mirrors :meth:`Resource.cancel`: an interrupted pipeline stage
+        calls this from its ``except Interrupt`` handler so a queued
+        request is removed and an already-granted slot returns to the
+        pool instead of leaking into a dead process.
+        """
+        for i, ev in enumerate(self._waiters):
+            if ev is request:
+                del self._waiters[i]
+                return
+        if request.triggered and request.ok:
+            self.release(request.value)
+
     @property
     def available(self) -> int:
         return len(self._free)
+
+    @property
+    def outstanding(self) -> int:
+        """Slots granted but not yet returned."""
+        return self.slots - len(self._free)
 
 
 __all__.append("StoreClosed")

@@ -79,6 +79,27 @@ def test_report_render_contains_everything():
         assert fragment in out
 
 
+# ----------------------------------------------------------------- traces
+def test_report_exports_attached_timelines(tmp_path):
+    import json
+    from repro.simt import Timeline
+
+    rep = ExperimentReport("Table II — demo", "claim")
+    tl = Timeline()
+    tl.record("map.kernel", "node0", 0.0, 1.0)
+    rep.attach_timeline("hash+combiner", tl)
+    paths = rep.export_traces(str(tmp_path))
+    assert len(paths) == 1
+    assert paths[0].endswith("table-ii---demo-hash-combiner.trace.json")
+    trace = json.loads(open(paths[0]).read())
+    assert any(e.get("ph") == "X" for e in trace["traceEvents"])
+
+
+def test_report_without_timelines_exports_nothing(tmp_path):
+    rep = ExperimentReport("Exp", "claim")
+    assert rep.export_traces(str(tmp_path)) == []
+
+
 # ---------------------------------------------------------------- helpers
 def test_speedups_relative_to_first():
     assert speedups([10.0, 5.0, 2.5]) == [1.0, 2.0, 4.0]

@@ -102,6 +102,7 @@ def test_map_crashes(cell, count):
     plan = FaultPlan(map_failures={s: 1 for s in range(count)})
     res = case.run(faults=plan)
     case.assert_same_output(res, golden)
+    assert res.stats["leaked_buffer_slots"] == 0
     assert res.metrics.reexecutions == count
     assert res.stats["task_failures"] == count
     assert res.job_time > golden.job_time
@@ -117,6 +118,7 @@ def test_reduce_crashes(cell, count):
     plan = FaultPlan(reduce_failures={p: 1 for p in occupied[:count]})
     res = case.run(faults=plan)
     case.assert_same_output(res, golden)
+    assert res.stats["leaked_buffer_slots"] == 0
     assert res.metrics.reexecutions == count
     assert res.stats["task_failures"] == count
     # The retried task may sit off the critical path, so the job is only
@@ -135,6 +137,10 @@ def test_node_crashes(cell, count):
                     for i in range(count))
     res = case.run(faults=FaultPlan(node_crashes=crashes))
     case.assert_same_output(res, golden)
+    # Killed pipelines must hand every acquired buffer slot back (the
+    # interrupt paths in _kernel_stage/_output_stage release on the way
+    # out; the reaper drains in-flight queue slots).
+    assert res.stats["leaked_buffer_slots"] == 0
     assert sorted(res.stats["dead_nodes"]) == [c.node for c in crashes]
     assert res.metrics.node_crashes == count
     assert res.metrics.reexecutions == res.stats["reexecuted_splits"]
@@ -148,6 +154,7 @@ def test_stragglers_with_speculation(cell, count):
     cfg = case.config().with_(speculative_execution=True)
     res = case.run(faults=plan, config=cfg)
     case.assert_same_output(res, golden)
+    assert res.stats["leaked_buffer_slots"] == 0
     # Stragglers are slow, not failed: nothing re-executes, and any
     # speculative win must come from an actual launch.
     assert res.metrics.reexecutions == 0
@@ -163,6 +170,7 @@ def test_node_crash_degrades_gracefully():
     plan = FaultPlan(node_crashes=(NodeCrash(node=2, at=golden.map_time / 2),))
     res = case.run(faults=plan)
     assert canonical(res) == canonical(golden)
+    assert res.stats["leaked_buffer_slots"] == 0
     assert golden.job_time < res.job_time < 2 * golden.job_time
     assert res.metrics.recovery_time > 0
 

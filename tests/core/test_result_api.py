@@ -24,9 +24,46 @@ def test_output_pairs_iterates_partition_order(result):
 
 def test_sorted_output_is_canonical(result):
     out = result.sorted_output()
-    keys = [repr(k) for k, _ in out]
+    keys = [k for k, _ in out]
     assert keys == sorted(keys)
     assert len(out) == len(list(result.output_pairs()))
+
+
+def test_sorted_output_uses_natural_key_order():
+    """Integer keys sort numerically, not as strings ("10" < "2")."""
+
+    from repro.storage.records import KVSchema
+
+    class CountByLength(WordCountApp):
+        """Wordcount variant keyed by word length (int keys)."""
+        name = "countlen"
+        has_combiner = False
+        inter_schema = KVSchema("cl-inter", key_bytes=lambda k: 4,
+                                value_bytes=lambda v: 4)
+        output_schema = KVSchema("cl-out", key_bytes=lambda k: 4,
+                                 value_bytes=lambda v: 8)
+
+        def map_batch(self, records):
+            words = b"\n".join(records).split()
+            return [(2 * len(word), 1) for word in words]
+
+    inputs = {"wiki": wiki_text(60_000, seed=143)}
+    res = run_glasswing(CountByLength(), inputs, das4_cluster(nodes=2),
+                        JobConfig(chunk_size=16_384, use_combiner=False))
+    keys = [k for k, _ in res.sorted_output()]
+    assert all(isinstance(k, int) for k in keys)
+    assert max(keys) > 9          # the repr-sort bug needs 2-digit keys
+    assert keys == sorted(keys)   # 2 before 10, not "10" < "2"
+
+
+def test_sorted_output_survives_mixed_key_types():
+    """Heterogeneous keys fall back to type-tagged ordering, not a crash."""
+    from repro.core.engine import GlasswingResult
+
+    probe = GlasswingResult.__new__(GlasswingResult)
+    probe.output = {0: [(10, 1), ("b", 2)], 1: [(2, 3), ("a", 4)]}
+    out = probe.sorted_output()
+    assert out == [(2, 3), (10, 1), ("a", 4), ("b", 2)]
 
 
 def test_result_metadata(result):

@@ -1,0 +1,15 @@
+"""Shared fixture: one real wordcount run for the obs test suite."""
+
+import pytest
+
+from repro.apps import WordCountApp
+from repro.apps.datagen import wiki_text
+from repro.core import JobConfig, run_glasswing
+from repro.hw.presets import das4_cluster
+
+
+@pytest.fixture(scope="package")
+def wc_result():
+    inputs = {"wiki": wiki_text(200_000, seed=51)}
+    return run_glasswing(WordCountApp(), inputs, das4_cluster(nodes=2),
+                         JobConfig(chunk_size=32_768))

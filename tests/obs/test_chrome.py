@@ -1,0 +1,93 @@
+"""Chrome trace export: structure, round-trip, viewer invariants."""
+
+import json
+
+from repro.obs import chrome_trace_events, to_chrome_trace, write_chrome_trace
+from repro.obs.chrome import TIME_SCALE
+from repro.simt import Timeline
+
+
+def small_timeline():
+    tl = Timeline()
+    tl.record("map.input", "node0", 0.0, 2.0, bytes=100, slot=0)
+    tl.record("map.kernel", "node0", 1.0, 4.0)
+    tl.record("map.kernel", "node1", 0.5, 4.5)
+    tl.record("map.elapsed", "node0", 0.0, 5.0)
+    tl.record("net.transfer", "0->1", 2.0, 3.0, bytes=64)
+    return tl
+
+
+def test_events_cover_every_span():
+    tl = small_timeline()
+    events = chrome_trace_events(tl)
+    xs = [e for e in events if e["ph"] == "X"]
+    assert len(xs) == len(tl)
+
+
+def test_process_per_instance_thread_per_category():
+    events = chrome_trace_events(small_timeline())
+    procs = {e["args"]["name"]: e["pid"] for e in events
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert set(procs) == {"node0", "node1", "0->1"}
+    assert len(set(procs.values())) == 3    # distinct pids
+    threads = {(e["pid"], e["tid"]): e["args"]["name"] for e in events
+               if e["ph"] == "M" and e["name"] == "thread_name"}
+    # node0's rows: elapsed, input, kernel; node1: kernel; 0->1: transfer.
+    assert sorted(threads.values()) == sorted(
+        ["map.elapsed", "map.input", "map.kernel", "map.kernel",
+         "net.transfer"])
+    # Same category gets the same tid in every process.
+    kernel_tids = {tid for (_pid, tid), name in threads.items()
+                   if name == "map.kernel"}
+    assert len(kernel_tids) == 1
+
+
+def test_stage_rows_sorted_in_dependency_order():
+    tl = Timeline()
+    for stage in ("output", "retrieve", "kernel", "stage", "input",
+                  "elapsed"):
+        tl.record(f"map.{stage}", "n0", 0.0, 1.0)
+    events = chrome_trace_events(tl)
+    tid_of = {e["name"]: e["tid"] for e in events if e["ph"] == "X"}
+    ordered = sorted(tid_of, key=lambda c: tid_of[c])
+    assert ordered == ["map.elapsed", "map.input", "map.stage",
+                       "map.kernel", "map.retrieve", "map.output"]
+
+
+def test_times_scaled_to_microseconds():
+    events = chrome_trace_events(small_timeline())
+    ev = next(e for e in events if e["ph"] == "X"
+              and e["name"] == "map.input")
+    assert ev["ts"] == 0.0
+    assert ev["dur"] == 2.0 * TIME_SCALE
+    assert ev["cat"] == "map"
+    assert ev["args"]["bytes"] == 100
+
+
+def test_meta_values_json_safe():
+    tl = Timeline()
+    tl.record("x", "n0", 0.0, 1.0, obj=object(), ok=True, items=[1, 2])
+    trace = to_chrome_trace(tl)
+    text = json.dumps(trace)              # must not raise
+    args = json.loads(text)["traceEvents"][-1]["args"]
+    assert args["ok"] is True
+    assert isinstance(args["obj"], str)
+    assert isinstance(args["items"], str)
+
+
+def test_round_trip_on_real_run(tmp_path, wc_result):
+    """A real wordcount run exports a viewer-loadable trace: JSON parses,
+    one process row per node, X events for all five map and reduce
+    stages (the acceptance criterion)."""
+    path = write_chrome_trace(wc_result.timeline, str(tmp_path / "t.json"))
+    trace = json.loads(open(path).read())
+    assert "traceEvents" in trace
+    events = trace["traceEvents"]
+    procs = {e["args"]["name"] for e in events
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert {"node0", "node1"} <= procs
+    x_names = {e["name"] for e in events if e["ph"] == "X"}
+    for phase in ("map", "reduce"):
+        for stage in ("input", "stage", "kernel", "retrieve", "output"):
+            assert f"{phase}.{stage}" in x_names
+    assert all(e["dur"] >= 0 for e in events if e["ph"] == "X")

@@ -1,0 +1,127 @@
+"""PipelineReport analysis, counters, and the structured job report."""
+
+import json
+
+import pytest
+
+from repro.obs import PIPELINE_STAGES, PipelineReport, aggregate_counters
+from repro.simt import Timeline
+
+
+def synthetic_timeline():
+    """node0: input [0,2]+[2,4], kernel [1,5], output [4,6]; a 1s stall
+    [6,7]; then output [7,8].  Elapsed window [0,8]."""
+    tl = Timeline()
+    tl.record("map.input", "node0", 0.0, 2.0)
+    tl.record("map.input", "node0", 2.0, 4.0)
+    tl.record("map.kernel", "node0", 1.0, 5.0)
+    tl.record("map.output", "node0", 4.0, 6.0)
+    tl.record("map.output", "node0", 7.0, 8.0)
+    tl.record("map.elapsed", "node0", 0.0, 8.0)
+    # node1 finishes first -> node0 is the critical node
+    tl.record("map.kernel", "node1", 0.0, 3.0)
+    tl.record("map.elapsed", "node1", 0.0, 3.0)
+    return tl
+
+
+def test_critical_node_resolution():
+    rep = PipelineReport(synthetic_timeline(), phase="map")
+    assert rep.node == "node0"
+    assert rep.elapsed == 8.0
+
+
+def test_explicit_node_override():
+    rep = PipelineReport(synthetic_timeline(), phase="map", node="node1")
+    assert rep.elapsed == 3.0
+    assert rep.dominant_stage == "kernel"
+
+
+def test_utilization_and_overlap():
+    rep = PipelineReport(synthetic_timeline(), phase="map")
+    util = rep.utilization()
+    assert util["input"] == pytest.approx(4.0 / 8.0)
+    assert util["kernel"] == pytest.approx(4.0 / 8.0)
+    assert util["output"] == pytest.approx(3.0 / 8.0)
+    assert rep.overlap_factor == pytest.approx(11.0 / 8.0)
+    assert rep.dominant_stage in ("input", "kernel")   # tied at 4.0
+
+
+def test_critical_path_attributes_deepest_stage_and_waits():
+    rep = PipelineReport(synthetic_timeline(), phase="map")
+    path = rep.critical_path()
+    # Walk back from 8: output [7,8] -> 1; gap [6,7] -> wait 1;
+    # output [4,6] -> 2; kernel [1,4] covers back to 1 -> 3;
+    # input [0,1] -> 1.
+    assert path["output"] == pytest.approx(3.0)
+    assert path["wait"] == pytest.approx(1.0)
+    assert path["kernel"] == pytest.approx(3.0)
+    assert path["input"] == pytest.approx(1.0)
+    assert sum(path.values()) == pytest.approx(rep.elapsed)
+
+
+def test_empty_phase_is_quiet():
+    rep = PipelineReport(Timeline(), phase="reduce")
+    assert rep.node is None
+    assert rep.elapsed == 0.0
+    assert rep.overlap_factor == 0.0
+    assert rep.dominant_stage is None
+    assert sum(rep.critical_path().values()) == 0.0
+    assert "no activity" in rep.explain()
+
+
+def test_explain_names_dominant_stage():
+    text = PipelineReport(synthetic_timeline(), phase="map").explain()
+    assert "critical node node0" in text
+    assert "dominant stage" in text
+    assert "overlap factor" in text
+    assert "buffer-wait" in text
+
+
+def test_aggregate_counters_roll_up():
+    tl = Timeline()
+    tl.record("map.input", "n0", 0.0, 1.0, bytes=100, slot_wait=0.25)
+    tl.record("map.stage", "n0", 1.0, 1.0, bytes=100, passthrough=True)
+    tl.record("map.retrieve", "n0", 2.0, 2.0, bytes=40, passthrough=True)
+    tl.record("map.output", "n0", 2.0, 3.0, bytes=40, queue_wait=0.5)
+    tl.record("map.elapsed", "n0", 0.0, 3.0, slots_acquired=4,
+              slots_released=4, slots_leaked=0)
+    tl.record("net.transfer", "0->1", 1.0, 2.0, bytes=64, tx_wait=0.1,
+              fabric_wait=0.2, rx_wait=0.3)
+    tl.record("merge.flush", "n0", 2.5, 2.75, bytes=30, raw_bytes=60)
+    c = aggregate_counters(tl)
+    assert c["bytes_read"] == 100
+    assert c["bytes_staged"] == 100
+    assert c["bytes_retrieved"] == 40
+    assert c["bytes_output"] == 40
+    assert c["bytes_shuffled"] == 64
+    assert c["bytes_spilled"] == 30
+    assert c["transfers"] == 1
+    assert c["slots_acquired"] == 4 and c["slots_leaked"] == 0
+    assert c["slot_wait_seconds"] == pytest.approx(0.25)
+    assert c["queue_wait_seconds"] == pytest.approx(0.5)
+    assert c["net_wait_seconds"] == pytest.approx(0.6)
+
+
+def test_job_report_structure(wc_result):
+    report = wc_result.to_report()
+    assert report["schema"] == "glasswing-report/1"
+    assert report["app"] == "wordcount"
+    assert report["nodes"] == 2
+    assert set(report["phases"]) == {"map", "reduce"}
+    for phase in report["phases"].values():
+        assert set(phase["utilization"]) == set(PIPELINE_STAGES)
+        assert phase["elapsed"] > 0
+        assert phase["dominant_stage"] in PIPELINE_STAGES
+        assert sum(phase["critical_path"].values()) == pytest.approx(
+            phase["elapsed"])
+    assert report["times"]["job"] == wc_result.job_time
+    assert report["counters"]["bytes_read"] > 0
+    assert report["counters"]["slots_leaked"] == 0
+    assert report["stats"]["leaked_buffer_slots"] == 0
+    json.dumps(report)    # fully JSON-serialisable, enums and all
+
+
+def test_overlap_factor_exceeds_one_with_double_buffering(wc_result):
+    """Acceptance: the default buffering=2 workload genuinely pipelines."""
+    rep = PipelineReport(wc_result.timeline, phase="map")
+    assert rep.overlap_factor > 1.0

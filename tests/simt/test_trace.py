@@ -92,3 +92,37 @@ def test_span_overlap_predicate():
     c = tl.record("x", "c", 5.0, 7.0)
     assert a.overlaps(b)
     assert not a.overlaps(c)
+
+
+def test_zero_length_spans():
+    """Markers (pass-through stages) are legal and cost no occupied time."""
+    tl = Timeline()
+    s = tl.record("map.stage", "n0", 2.0, 2.0, passthrough=True)
+    assert s.duration == 0.0
+    assert tl.occupied_time("map.stage") == 0.0
+    assert tl.busy_time("map.stage") == 0.0
+    # A marker inside a real span must not change the union either.
+    tl.record("map.stage", "n0", 0.0, 4.0)
+    assert tl.occupied_time("map.stage") == 4.0
+
+
+def test_zero_length_span_extent():
+    """Extent of nothing-but-markers is zero; markers still move edges."""
+    tl = Timeline()
+    tl.record("m", "a", 3.0, 3.0)
+    assert tl.span_extent("m") == 0.0
+    tl.record("m", "a", 1.0, 2.0)
+    assert tl.span_extent("m") == 2.0   # marker at 3.0 extends the window
+
+
+def test_occupied_time_name_none_merges_across_nodes():
+    """With name=None the union covers *all* instances — two nodes busy
+    in the same window count once, unlike busy_time."""
+    tl = Timeline()
+    tl.record("map.kernel", "node0", 0.0, 4.0)
+    tl.record("map.kernel", "node1", 2.0, 6.0)
+    tl.record("map.kernel", "node1", 8.0, 9.0)
+    assert tl.busy_time("map.kernel") == 9.0
+    assert tl.occupied_time("map.kernel") == 7.0
+    assert tl.occupied_time("map.kernel", name="node0") == 4.0
+    assert tl.occupied_time("map.kernel", name="node1") == 5.0

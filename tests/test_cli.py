@@ -64,3 +64,32 @@ def test_main_runs_terasort(capsys):
                "--chunk-kb", "50"])
     assert rc == 0
     assert "terasort" in capsys.readouterr().out
+
+
+def test_main_writes_trace_and_report(tmp_path, capsys):
+    import json
+    trace = tmp_path / "t.json"
+    report = tmp_path / "r.json"
+    rc = main(["wordcount", "--nodes", "2", "--megabytes", "0.2",
+               "--chunk-kb", "32", "--trace-out", str(trace),
+               "--report-json", str(report)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "trace written to" in out
+    assert "report written to" in out
+    t = json.loads(trace.read_text())
+    assert any(e.get("ph") == "X" for e in t["traceEvents"])
+    r = json.loads(report.read_text())
+    assert r["schema"] == "glasswing-report/1"
+    assert r["phases"]["map"]["dominant_stage"] is not None
+
+
+def test_main_explain_prints_analysis(capsys):
+    rc = main(["wordcount", "--nodes", "2", "--megabytes", "0.2",
+               "--chunk-kb", "32", "--explain"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "map pipeline" in out
+    assert "reduce pipeline" in out
+    assert "dominant stage" in out
+    assert "critical path" in out

@@ -18,6 +18,7 @@ QUICK = [
     "gpu_kmeans.py",
     "fault_tolerance.py",
     "inverted_index.py",
+    "trace_explain.py",
 ]
 
 
