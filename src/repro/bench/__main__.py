@@ -1,7 +1,9 @@
 """Command-line entry point: ``python -m repro.bench <experiment>``.
 
 Experiments: table1, fig2, fig3, table2, table3, fig4, fig5, vertical,
-ablation, or ``all``.  Use ``--quick`` for truncated node sweeps.
+ablation, scaling, or ``all``.  Use ``--quick`` for truncated node
+sweeps.  ``scaling`` also writes ``BENCH_scaling.json`` to the current
+directory.
 """
 
 from __future__ import annotations
@@ -46,11 +48,15 @@ def _reports(name: str, quick: bool):
     if name == "ablation":
         from repro.bench import ablation
         return ablation.run_all()
+    if name == "scaling":
+        from repro.bench import scaling
+        nodes = scaling.QUICK_NODES if quick else scaling.NODES
+        return [scaling.report(nodes)]
     raise SystemExit(f"unknown experiment {name!r}")
 
 
 ALL = ("table1", "fig2", "fig3", "table2", "table3", "fig4", "fig5",
-       "vertical", "ablation")
+       "vertical", "ablation", "scaling")
 
 
 def main(argv=None) -> int:

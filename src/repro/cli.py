@@ -59,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--matrix", type=int, default=1024,
                         help="matrix size for matmul (tile = matrix/4)")
     parser.add_argument("--chunk-kb", type=int, default=256)
+    parser.add_argument("--batch-size", type=int, default=None,
+                        metavar="RECORDS",
+                        help="records per simulated pipeline payload; "
+                             "1 = per-record ground-truth simulation "
+                             "(default: autotuned, one batch per split)")
     parser.add_argument("--buffering", type=int, default=2,
                         choices=[1, 2, 3])
     parser.add_argument("--seed", type=int, default=42)
@@ -144,7 +149,8 @@ def make_job(args) -> Tuple[MapReduceApp, Dict[str, bytes], JobConfig]:
         chunk_size=args.chunk_kb * 1024,
         device=DeviceKind.GPU if args.device == "gpu" else DeviceKind.CPU,
         storage=args.storage,
-        buffering=args.buffering)
+        buffering=args.buffering,
+        batch_size=args.batch_size)
     if args.app == "wordcount":
         return (WordCountApp(),
                 {"corpus": datagen.wiki_text(nbytes, seed=args.seed)},

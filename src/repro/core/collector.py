@@ -30,9 +30,36 @@ from repro.ocl.kernel import KernelCost
 from repro.core.api import MapReduceApp
 from repro.core.data import MapOutput
 
-__all__ = ["collect_map_output", "hash_contention", "COLLECTORS"]
+__all__ = ["collect_map_output", "hash_contention", "COLLECTORS",
+           "KeyInterner"]
 
 Pair = Tuple[Any, Any]
+
+
+class KeyInterner:
+    """Canonicalises equal keys to one object (hash-table interning).
+
+    The hash collector touches every emitted key; on batched runs the
+    same hot keys recur in every batch, and CPython compares interned
+    keys by identity before falling back to ``__eq__``.  Interning is
+    free of virtual time (the hash probe is already part of the
+    collector's charged cost) and never changes results — only object
+    identity.  Unhashable keys pass through untouched.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self) -> None:
+        self._table: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def intern(self, key: Any) -> Any:
+        try:
+            return self._table.setdefault(key, key)
+        except TypeError:            # unhashable key: nothing to intern
+            return key
 
 #: emitting one pair costs a handful of device ops regardless of collector
 _EMIT_FLOPS = 8.0
@@ -67,7 +94,11 @@ def _buffer_collect(app: MapReduceApp, device: DeviceSpec, pairs: List[Pair],
 
 
 def _hash_collect(app: MapReduceApp, device: DeviceSpec, pairs: List[Pair],
-                  use_combiner: bool, chunk_index: int) -> Tuple[MapOutput, KernelCost]:
+                  use_combiner: bool, chunk_index: int,
+                  interner: KeyInterner | None = None
+                  ) -> Tuple[MapOutput, KernelCost]:
+    if interner is not None:
+        pairs = [(interner.intern(k), v) for k, v in pairs]
     n_unique = len({k for k, _ in pairs})
     contention = hash_contention(len(pairs), n_unique)
     raw_in = app.inter_schema.size_of(pairs)
@@ -102,12 +133,22 @@ COLLECTORS = {
 
 def collect_map_output(collector: str, app: MapReduceApp, device: DeviceSpec,
                        pairs: List[Pair], use_combiner: bool,
-                       chunk_index: int) -> Tuple[MapOutput, KernelCost]:
-    """Run the configured collector over one kernel launch's emits."""
+                       chunk_index: int,
+                       interner: KeyInterner | None = None
+                       ) -> Tuple[MapOutput, KernelCost]:
+    """Run the configured collector over one kernel launch's emits.
+
+    ``interner`` (hash collector only) canonicalises repeated keys to one
+    object across launches — a host-memory optimisation with no effect on
+    the collected output or the charged cost.
+    """
     try:
         fn = COLLECTORS[collector]
     except KeyError:
         raise ValueError(f"unknown collector {collector!r}") from None
     if use_combiner and collector != "hash":
         raise ValueError("the combiner requires the hash-table collector")
+    if fn is _hash_collect:
+        return fn(app, device, pairs, use_combiner, chunk_index,
+                  interner=interner)
     return fn(app, device, pairs, use_combiner, chunk_index)

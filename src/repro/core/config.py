@@ -14,6 +14,9 @@ the evaluation are all here:
   (§III-C, Figure 5).
 * ``device`` — which compute device runs the kernels (CPU/GPU/MIC).
 * ``storage`` — DFS (HDFS-like) or node-local files.
+* ``batch_size`` — simulation granularity of the batched hot path
+  (records per pipeline payload); not a paper knob, see
+  docs/performance.md.
 """
 
 from __future__ import annotations
@@ -41,6 +44,12 @@ class JobConfig:
     buffering: int = 2                  # 1 = single, 2 = double, 3 = triple
     chunk_size: int = 16 * MiB          # input split processed per kernel
     kernel_threads: Optional[int] = None  # CPU-device thread override
+    #: simulation granularity: records per pipeline payload (map) and keys
+    #: per reduce work item.  ``None`` autotunes to one batch per split —
+    #: the fastest wall-clock setting; 1 simulates record-at-a-time (the
+    #: differential-test ground truth).  Virtual time is granularity-
+    #: invariant up to cost-model rounding; see docs/performance.md.
+    batch_size: Optional[int] = None
 
     # -- map output collection ------------------------------------------------
     collector: str = "hash"             # "hash" | "buffer"
@@ -92,6 +101,8 @@ class JobConfig:
                      "reduce_threads_per_key", "output_replication"):
             if getattr(self, attr) < 1:
                 raise ValueError(f"{attr} must be >= 1")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1 (or None to autotune)")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.backoff_base < 0:

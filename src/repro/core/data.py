@@ -12,11 +12,20 @@ Pair = Tuple[Any, Any]
 
 @dataclass
 class Chunk:
-    """One input split loaded into memory by the map input stage."""
+    """One map-pipeline payload: a batch of records from one input split.
 
-    index: int
+    With the default batch size a chunk is a whole split; smaller
+    ``JobConfig.batch_size`` values slice a split into several chunks
+    (``seq``/``last`` give the batch's position, ``start`` its record
+    offset within the split, and ``nbytes`` its exact byte share).
+    """
+
+    index: int              # index of the owning split
     records: List[bytes]
     nbytes: int
+    seq: int = 0            # batch number within the split
+    last: bool = True       # final batch of the split?
+    start: int = 0          # record offset of this batch within the split
 
 
 @dataclass
@@ -27,6 +36,8 @@ class MapOutput:
     pairs: List[Pair]
     raw_bytes: int          # serialized size of ``pairs``
     decode_items: int       # items the partitioner must decode individually
+    seq: int = 0            # batch position, carried over from the Chunk
+    last: bool = True
 
 
 @dataclass

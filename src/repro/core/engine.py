@@ -251,6 +251,8 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
     metrics = JobMetrics(timeline, n)
     repushed_runs, reexecuted_splits = result_box["recovery"]
     stats = {
+        "batch_size": map_phases[0].batch_records if map_phases else None,
+        "batch_autotuned": config.batch_size is None,
         "records_mapped": sum(mp.records_mapped for mp in map_phases),
         "pairs_emitted": sum(mp.pairs_emitted for mp in map_phases),
         "keys_reduced": sum(rp.keys_reduced

@@ -251,7 +251,11 @@ class IntermediateManager:
 
     # -- helpers ----------------------------------------------------------------
     def _merge_runs(self, runs: List[SortedRun]) -> SortedRun:
-        """Real multi-way merge preserving sort order."""
+        """Real multi-way merge preserving sort order (a single run is
+        already sorted and skips the heap — the hot path when flushes
+        drain one run per partition)."""
+        if len(runs) == 1:
+            return SortedRun(list(runs[0].pairs), runs[0].raw_bytes)
         key = self.app.sort_key
         merged = list(heapq.merge(*[r.pairs for r in runs],
                                   key=lambda kv: key(kv[0])))

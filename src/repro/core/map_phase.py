@@ -36,7 +36,8 @@ so re-execution never duplicates data.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.hw.node import Node
 from repro.net.transport import Network
@@ -45,7 +46,9 @@ from repro.simt.core import Simulator
 from repro.simt.trace import Timeline
 
 from repro.core.api import MapReduceApp
-from repro.core.collector import collect_map_output
+from repro.core.batching import apportion_bytes, resolve_batch_size, \
+    slice_batches
+from repro.core.collector import KeyInterner, collect_map_output
 from repro.core.config import JobConfig
 from repro.core.coordinator import ShuffleRegistry, Split
 from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts, sort_seconds
@@ -57,6 +60,23 @@ from repro.core.pipeline import Pipeline
 from repro.core.splitread import read_split_records
 
 __all__ = ["MapPhase"]
+
+
+@dataclass
+class _SplitAccumulator:
+    """Partition-stage state of a split processed as several batches.
+
+    Buckets fill batch by batch; the per-split work that must see the
+    whole split (bucket sort, compression, the durable spill, registry
+    bookkeeping, pushes) runs once when the last batch arrives.  A node
+    crash mid-split simply drops the accumulator with the pipeline — the
+    split was never marked durable, so recovery re-executes it whole and
+    no partial batch is ever delivered twice.
+    """
+
+    buckets: Dict[int, List] = field(default_factory=dict)
+    raw_bytes: int = 0
+    decode_items: int = 0
 
 
 class MapPhase:
@@ -94,6 +114,12 @@ class MapPhase:
         self.push_procs: List = []        # in-flight remote pushes
         self.records_mapped = 0
         self.pairs_emitted = 0
+        # Batched hot path: records per pipeline payload (the split is the
+        # ceiling — the autotuned default never slices).
+        self.batch_records = resolve_batch_size(config, app.record_format)
+        self._split_totals: Dict[int, Tuple[int, int]] = {}
+        self._acc: Dict[int, _SplitAccumulator] = {}
+        self._interner = KeyInterner() if config.collector == "hash" else None
         stage_fn = None if device.spec.unified_memory else self._stage
         retrieve_fn = None if device.spec.unified_memory else self._retrieve
         # Real device-buffer allocation: the §III-D trade-off ("more
@@ -139,22 +165,47 @@ class MapPhase:
     def _read(self, split: Split) -> Generator:
         records, nbytes = yield from read_split_records(
             self.backend, self.node.node_id, split, self.app.record_format)
-        return Chunk(index=split.index, records=records, nbytes=nbytes)
+        self._split_totals[split.index] = (len(records), nbytes)
+        if len(records) <= self.batch_records:
+            return Chunk(index=split.index, records=records, nbytes=nbytes)
+        # Fine-grained simulation: slice the split into batch payloads.
+        # The read itself (and its I/O cost, already charged above)
+        # happened once; byte shares are apportioned exactly so input
+        # counters are invariant under re-batching.
+        batches = slice_batches(records, self.batch_records)
+        sizes = apportion_bytes(nbytes, [len(b) for b in batches])
+        chunks: List[Chunk] = []
+        offset = 0
+        for i, (recs, size) in enumerate(zip(batches, sizes)):
+            chunks.append(Chunk(index=split.index, records=recs, nbytes=size,
+                                seq=i, last=(i == len(batches) - 1),
+                                start=offset))
+            offset += len(recs)
+        return chunks
 
     def _stage(self, chunk: Chunk) -> Generator:
         yield from self.device.transfer(chunk.nbytes, "h2d")
         return chunk
 
     def _kernel(self, chunk: Chunk) -> Generator:
-        chunk = yield from self._rerun_failures(chunk)
+        if chunk.seq == 0:
+            # Task-level fault injection: a crash costs (and restarts) the
+            # whole map task, so only the split's first batch carries it.
+            chunk = yield from self._rerun_failures(chunk)
         pairs = self.app.map_batch(chunk.records)      # the real map work
         self.records_mapped += len(chunk.records)
         use_combiner = self.config.use_combiner and self.app.has_combiner
         out, extra = collect_map_output(
             self.config.collector, self.app, self.device.spec, pairs,
-            use_combiner, chunk.index)
-        cost = self.app.map_cost(self.device.spec, len(chunk.records),
-                                 chunk.nbytes) + extra
+            use_combiner, chunk.index, interner=self._interner)
+        base = self.app.map_cost(self.device.spec, len(chunk.records),
+                                 chunk.nbytes)
+        if chunk.seq:
+            # One modeled kernel launch covers the whole split; later
+            # batches of that launch charge roofline work only, keeping
+            # launch overhead granularity-invariant.
+            base = replace(base, launches=0)
+        cost = base + extra
         threads = self.config.kernel_threads
         if threads is None:
             threads = self.app.preferred_threads(self.device.spec)
@@ -167,6 +218,8 @@ class MapPhase:
             yield from self._race_speculative(chunk, charged, threads)
             self.speculation.observe(self.sim.now - start)
         self.pairs_emitted += len(out.pairs)
+        out.seq = chunk.seq
+        out.last = chunk.last
         return out
 
     def _race_speculative(self, chunk: Chunk, charged, threads) -> Generator:
@@ -229,9 +282,13 @@ class MapPhase:
         if self.faults is None:
             return chunk
         attempt = 0
+        total_records, total_bytes = self._split_totals.get(
+            chunk.index, (len(chunk.records), chunk.nbytes))
         while self.faults.should_fail_map(chunk.index, attempt):
-            cost = self.app.map_cost(self.device.spec, len(chunk.records),
-                                     chunk.nbytes)
+            # The wasted work is a fraction of the whole task's kernel,
+            # regardless of how finely the simulation batches it.
+            cost = self.app.map_cost(self.device.spec, total_records,
+                                     total_bytes)
             progress = self.faults.progress_for(chunk.index, attempt)
             partial = cost.scaled(progress)
             start = self.sim.now
@@ -256,7 +313,19 @@ class MapPhase:
             records, nbytes = yield from read_split_records(
                 self.backend, self.node.node_id, split,
                 self.app.record_format)
-            chunk = Chunk(index=chunk.index, records=records, nbytes=nbytes)
+            if chunk.last and chunk.start == 0:
+                chunk = Chunk(index=chunk.index, records=records,
+                              nbytes=nbytes)
+            else:
+                # Batched split: this payload is only the first batch —
+                # take back its exact record slice (the read is
+                # deterministic) so the re-run neither drops nor
+                # duplicates records of the other batches.
+                n = len(chunk.records)
+                chunk = Chunk(index=chunk.index,
+                              records=records[chunk.start:chunk.start + n],
+                              nbytes=chunk.nbytes, seq=chunk.seq,
+                              last=chunk.last, start=chunk.start)
         return chunk
 
     def _retrieve(self, out: MapOutput) -> Generator:
@@ -264,23 +333,55 @@ class MapPhase:
         return out
 
     def _partition(self, out: MapOutput) -> Generator:
-        """Stage 5: sort, partition, persist, push."""
+        """Stage 5: sort, partition, persist, push.
+
+        A split simulated as several batches accumulates its buckets here
+        batch by batch (charging the linear decode share per batch); the
+        whole-split work — bucket sort, compression, the durable spill,
+        registry marks and pushes — runs once, on the final batch, so the
+        charged totals and all byte counters match the single-batch run.
+        """
         cfg = self.config
         registry = self.registry
         total_partitions = (registry.total_partitions if registry is not None
                             else self.n_nodes * cfg.partitions_per_node)
         split_index = out.chunk_index
-        # Real work: bucket the pairs and sort each bucket.
-        buckets: Dict[int, List] = {}
+        single = out.seq == 0 and out.last
+        # Real work: bucket the pairs (into the split accumulator when
+        # the split arrives in batches) and, once complete, sort buckets.
+        buckets: Dict[int, List]
+        buckets = {} if single else \
+            self._acc.setdefault(split_index, _SplitAccumulator()).buckets
         for pair in out.pairs:
             pid = self.app.partition(pair[0], total_partitions)
             buckets.setdefault(pid, []).append(pair)
+        if single:
+            raw_total, decode_items = out.raw_bytes, out.decode_items
+        else:
+            acc = self._acc[split_index]
+            acc.raw_bytes += out.raw_bytes
+            acc.decode_items += out.decode_items
+            # Decode is linear in items/bytes: charge this batch's share
+            # as it streams through, leaving the superlinear sort (and
+            # the compression of the complete output) to the last batch.
+            cpu_start = self.sim.now
+            yield self.node.host_work(
+                cfg.partitioner_threads,
+                self.costs.decode_seconds(out.decode_items, out.raw_bytes),
+                tag="map.partition")
+            self.timeline.record("map.partition_cpu", self.node.name,
+                                 cpu_start, self.sim.now)
+            if not out.last:
+                return out
+            del self._acc[split_index]
+            raw_total, decode_items = acc.raw_bytes, acc.decode_items
         for pid in buckets:
             buckets[pid].sort(key=lambda kv: self.app.sort_key(kv[0]))
         # Cost: decode + sort + compress, spread over N partitioner threads.
-        cpu = (self.costs.decode_seconds(out.decode_items, out.raw_bytes)
-               + sort_seconds(self.costs, out.decode_items)
-               + cfg.compression.compress_seconds(out.raw_bytes))
+        cpu = (sort_seconds(self.costs, decode_items)
+               + cfg.compression.compress_seconds(raw_total))
+        if single:
+            cpu += self.costs.decode_seconds(decode_items, raw_total)
         cpu_start = self.sim.now
         yield self.node.host_work(cfg.partitioner_threads, cpu,
                                   tag="map.partition")
@@ -291,7 +392,7 @@ class MapPhase:
                              cpu_start, self.sim.now)
         # Durability: one full copy of the map output on the local disk,
         # appended to the node's spill area (one sequential write stream).
-        stored_total = cfg.compression.compressed_size(out.raw_bytes)
+        stored_total = cfg.compression.compressed_size(raw_total)
         yield from self.node.disk.write(stored_total, stream="spill")
         runs = {pid: SortedRun(pairs, self.app.inter_schema.size_of(pairs))
                 for pid, pairs in sorted(buckets.items())}
@@ -322,28 +423,33 @@ class MapPhase:
                     registry.mark_delivered(split_index, pid, owner)
             else:
                 remote.setdefault(owner, []).append((pid, run))
-        for owner, owner_runs in remote.items():
+        if remote:
             self.push_procs.append(self.sim.process(
-                self._push(owner, split_index, owner_runs),
-                name=f"{self.node.name}.push.n{owner}"))
+                self._push(split_index, remote),
+                name=f"{self.node.name}.push.s{split_index}"))
         return out
 
-    def _push(self, owner: int, split_index: int,
-              runs: List[tuple[int, SortedRun]]) -> Generator:
+    def _push(self, split_index: int,
+              remote: Dict[int, List[tuple[int, SortedRun]]]) -> Generator:
         """Asynchronous remote Partition push (Glasswing pushes; Hadoop
-        pulls — one of the paper's stated latency advantages)."""
-        stored = sum(self.config.compression.compressed_size(r.raw_bytes)
-                     for _, r in runs)
-        yield self.node.host_work(1, self.costs.push_overhead, tag="push")
-        start = self.sim.now
-        delivered = yield from self.network.send(self.node.node_id, owner,
-                                                 stored)
-        self.timeline.record("map.push", self.node.name, start, self.sim.now,
-                             pids=len(runs), bytes=stored,
-                             delivered=bool(delivered))
-        if delivered is False:
-            return    # owner is gone; recovery re-routes these runs
-        for pid, run in runs:
-            self.managers[owner].add_run(pid, run)
-            if self.registry is not None:
-                self.registry.mark_delivered(split_index, pid, owner)
+        pulls — one of the paper's stated latency advantages).  One pusher
+        thread per split: its per-message CPU overhead is charged up
+        front and the messages — one per peer — go out back to back,
+        which is how they leave the NIC anyway."""
+        yield self.node.host_work(1, self.costs.push_overhead * len(remote),
+                                  tag="push")
+        for owner, runs in remote.items():
+            stored = sum(self.config.compression.compressed_size(r.raw_bytes)
+                         for _, r in runs)
+            start = self.sim.now
+            delivered = yield from self.network.send(self.node.node_id,
+                                                     owner, stored)
+            self.timeline.record("map.push", self.node.name, start,
+                                 self.sim.now, pids=len(runs), bytes=stored,
+                                 delivered=bool(delivered))
+            if delivered is False:
+                continue    # owner is gone; recovery re-routes these runs
+            for pid, run in runs:
+                self.managers[owner].add_run(pid, run)
+                if self.registry is not None:
+                    self.registry.mark_delivered(split_index, pid, owner)

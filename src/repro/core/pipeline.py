@@ -161,12 +161,14 @@ class Pipeline:
         """Post-kill slot reclamation: runs after the interrupt hooks have
         been delivered (same virtual time, later event order), so stage
         handlers have already cancelled their pending acquires and the
-        queued chunks are truly orphaned."""
+        queued chunks are truly orphaned.  Sub-batch entries carry ``None``
+        (their modeled item's slot rides the final sub-batch only)."""
         yield self.sim.timeout(0.0)
         for queue, pool in self._slot_queues:
             while len(queue):
                 slot, _payload = (yield queue.get())
-                pool.release(slot)
+                if slot is not None:
+                    pool.release(slot)
 
     def _span(self, stage: str, start: float, **meta: Any) -> None:
         self.timeline.record(f"{self.name}.{stage}", self.instance,
@@ -204,9 +206,32 @@ class Pipeline:
             except Interrupt:
                 self.in_pool.release(slot)
                 raise
-            self._span("input", start, slot=slot, slot_wait=slot_wait,
-                       **self._payload_meta(payload))
-            yield downstream.put((slot, payload))
+            # Batched fan-out: a read_fn may return a list of payloads
+            # (one modeled item sliced into several simulation batches).
+            # The whole item shares ONE input slot — the §III-D interlock
+            # counts modeled items in flight, not simulation batches, so
+            # virtual time is invariant under re-batching.  Only the final
+            # batch carries the slot downstream (the kernel stage releases
+            # it there); earlier batches carry ``None``.  The put enqueues
+            # synchronously, so once the final batch is offered the slot
+            # belongs to the queue (the kill-reaper reclaims it from
+            # there), not to this stage.
+            payloads = payload if isinstance(payload, list) else [payload]
+            owned = True
+            for n, part in enumerate(payloads):
+                final = n == len(payloads) - 1
+                self._span("input", start, slot=slot, slot_wait=slot_wait,
+                           **self._payload_meta(part))
+                put_ev = downstream.put((slot if final else None, part))
+                if final:
+                    owned = False
+                try:
+                    yield put_ev
+                except Interrupt:
+                    if owned:
+                        self.in_pool.release(slot)
+                    raise
+                start = self.sim.now
         downstream.close()
 
     def _mid_stage(self, stage_name: str, fn: Optional[StageFn],
@@ -225,7 +250,8 @@ class Pipeline:
                 try:
                     payload = yield from fn(payload)
                 except Interrupt:
-                    pool.release(slot)
+                    if slot is not None:
+                        pool.release(slot)
                     raise
                 self._span(stage_name, start, queue_wait=queue_wait,
                            **self._payload_meta(payload))
@@ -238,6 +264,11 @@ class Pipeline:
             yield downstream.put((slot, payload))
 
     def _kernel_stage(self, upstream: Store, downstream: Store) -> Generator:
+        # One output slot per modeled item: acquired at the item's first
+        # batch, carried downstream with its final batch (the output stage
+        # releases it there).  Mirrors the input-group slot sharing, so the
+        # interlock depth is measured in modeled items at any batch size.
+        held_out = None
         while True:
             t_req = self.sim.now
             try:
@@ -245,27 +276,45 @@ class Pipeline:
             except StoreClosed:
                 downstream.close()
                 return
+            except Interrupt:
+                if held_out is not None:
+                    self.out_pool.release(held_out)
+                raise
             queue_wait = self.sim.now - t_req
             t_slot = self.sim.now
-            acq = self.out_pool.acquire()
-            try:
-                out_slot = yield acq
-            except Interrupt:
-                self.out_pool.cancel(acq)
-                self.in_pool.release(in_slot)
-                raise
+            if held_out is None:
+                acq = self.out_pool.acquire()
+                try:
+                    held_out = yield acq
+                except Interrupt:
+                    self.out_pool.cancel(acq)
+                    if in_slot is not None:
+                        self.in_pool.release(in_slot)
+                    raise
             slot_wait = self.sim.now - t_slot
             start = self.sim.now
             try:
                 result = yield from self.kernel_fn(payload)
             except Interrupt:
-                self.in_pool.release(in_slot)
-                self.out_pool.release(out_slot)
+                if in_slot is not None:
+                    self.in_pool.release(in_slot)
+                self.out_pool.release(held_out)
                 raise
-            self.in_pool.release(in_slot)
-            self._span("kernel", start, slot=out_slot, slot_wait=slot_wait,
+            final = in_slot is not None
+            if final:
+                self.in_pool.release(in_slot)
+            self._span("kernel", start, slot=held_out, slot_wait=slot_wait,
                        queue_wait=queue_wait, **self._payload_meta(result))
-            yield downstream.put((out_slot, result))
+            put_ev = downstream.put((held_out if final else None, result))
+            out_slot = held_out
+            if final:
+                held_out = None
+            try:
+                yield put_ev
+            except Interrupt:
+                if held_out is not None:
+                    self.out_pool.release(out_slot)
+                raise
 
     def _output_stage(self, upstream: Store) -> Generator:
         while True:
@@ -279,9 +328,11 @@ class Pipeline:
             try:
                 sunk = yield from self.output_fn(payload)
             except Interrupt:
-                self.out_pool.release(slot)
+                if slot is not None:
+                    self.out_pool.release(slot)
                 raise
-            self.out_pool.release(slot)
+            if slot is not None:
+                self.out_pool.release(slot)
             self._span("output", start, queue_wait=queue_wait,
                        **self._payload_meta(payload))
             self.outputs.append(sunk if sunk is not None else payload)

@@ -39,6 +39,7 @@ from repro.simt.core import Simulator
 from repro.simt.trace import Timeline
 
 from repro.core.api import MapReduceApp
+from repro.core.batching import apportion_bytes, resolve_batch_size
 from repro.core.config import JobConfig
 from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts
 from repro.core.data import KeyGroupChunk, ReduceOutput
@@ -61,6 +62,20 @@ class _ReduceItem:
     disk_bytes: int      # compressed bytes this chunk pulls off disk
     disk_raw: int        # their inflated size (decompression cost basis)
     merge_items: int     # pairs moved through the final merge for this chunk
+    #: kernel launches this item carries.  The modeled launch geometry is
+    #: ``concurrent_keys * keys_per_thread`` keys per launch; when
+    #: ``batch_size`` simulates a launch as several smaller items, only
+    #: the launch window's first item charges the overhead.
+    launches: int = 1
+    #: keys of the whole modeled launch window (thread-count basis)
+    window_keys: int = 0
+    #: id of the modeled launch window this item belongs to; output writes
+    #: coalesce per window (one ``write_chunk`` per modeled launch), so the
+    #: per-call costs — JNI charge, replica-message latency — stay those of
+    #: the modeled system, not of the simulation granularity.
+    window_id: int = 0
+    #: True for the window's final sub-item (it pays the output write)
+    last: bool = True
 
 
 class ReducePhase:
@@ -87,6 +102,7 @@ class ReducePhase:
         self._pid_by_index: dict[int, int] = {}
         self._items_by_index: dict[int, _ReduceItem] = {}
         self._first_index_of_pid: dict[int, int] = {}
+        self._window_bytes: dict[int, int] = {}
         items = self._plan_items()
         stage_fn = None if device.spec.unified_memory else self._stage
         retrieve_fn = None if device.spec.unified_memory else self._retrieve
@@ -131,45 +147,80 @@ class ReducePhase:
         """
         cfg = self.config
         keys_per_chunk = cfg.concurrent_keys * cfg.keys_per_thread
+        # Simulation granularity: batch_size (in keys) may cut one modeled
+        # launch window into several smaller work items.  Launch overhead
+        # and thread counts stay those of the window, so virtual time is
+        # invariant; byte shares are apportioned exactly so disk counters
+        # are too.
+        batch = resolve_batch_size(cfg, self.app.record_format)
+        step = max(1, min(keys_per_chunk, batch))
         items: List[_ReduceItem] = []
         index = 0
+        wid = 0
         for pid in self.manager.owned:
             runs, disk_bytes, disk_raw = self.manager.read_partition(pid)
             if not runs:
                 continue
             merged = list(_merge_pairs(self.app, runs))
             groups = _group_pairs(merged)
-            total_pairs = max(1, len(merged))
-            for start in range(0, len(groups), keys_per_chunk):
-                part = groups[start:start + keys_per_chunk]
-                pairs_here = sum(len(vs) for _, vs in part)
-                frac = pairs_here / total_pairs
+            run_bits = max(1, len(runs)).bit_length()
+            parts: List[Tuple[List, int, int, int, bool]] = []
+            for wstart in range(0, len(groups), keys_per_chunk):
+                window = groups[wstart:wstart + keys_per_chunk]
+                for sstart in range(0, len(window), step):
+                    parts.append((window[sstart:sstart + step],
+                                  1 if sstart == 0 else 0, len(window),
+                                  wid, sstart + step >= len(window)))
+                wid += 1
+            weights = [sum(len(vs) for _, vs in part)
+                       for part, *_ in parts]
+            # Largest-remainder apportionment: per-item disk shares sum
+            # *exactly* to the partition's stored/raw bytes at any batch
+            # size, so the disk counters are invariant under re-batching.
+            disk_shares = apportion_bytes(disk_bytes, weights)
+            raw_shares = apportion_bytes(disk_raw, weights)
+            for ((part, launches, wkeys, w_id, w_last), pairs_here,
+                 d_stored, d_raw) in zip(parts, weights, disk_shares,
+                                         raw_shares):
                 items.append(_ReduceItem(
                     index=index, pid=pid, groups=part,
                     nbytes=self.app.inter_schema.size_of(
                         (k, v) for k, vs in part for v in vs),
-                    disk_bytes=int(disk_bytes * frac),
-                    disk_raw=int(disk_raw * frac),
-                    merge_items=pairs_here * max(1, len(runs)).bit_length(),
+                    disk_bytes=d_stored,
+                    disk_raw=d_raw,
+                    merge_items=pairs_here * run_bits,
+                    launches=launches, window_keys=wkeys,
+                    window_id=w_id, last=w_last,
                 ))
                 self._pid_by_index[index] = pid
                 self._items_by_index[index] = items[-1]
                 self._first_index_of_pid.setdefault(pid, index)
                 index += 1
-        return items
+        # Pipeline work items are the modeled launch windows; each window
+        # entry carries its sub-items (one, unless batch_size < window).
+        windows: List[List[_ReduceItem]] = []
+        for it in items:
+            if not windows or windows[-1][-1].window_id != it.window_id:
+                windows.append([])
+            windows[-1].append(it)
+        return windows
 
     # -- stage bodies ------------------------------------------------------------
-    def _read(self, item: _ReduceItem) -> Generator:
-        if item.disk_bytes:
-            yield from self.node.disk.read(item.disk_bytes,
-                                           stream=f"p{item.pid}")
-        cpu = (self.config.compression.decompress_seconds(item.disk_raw)
-               + self.costs.merge_seconds(item.merge_items)
-               + self.costs.group_seconds(sum(len(vs) for _, vs in item.groups)))
-        if cpu:
-            yield self.node.host_work(1, cpu, tag="reduce.read")
-        return KeyGroupChunk(index=item.index, groups=item.groups,
-                             nbytes=item.nbytes)
+    def _read(self, window: List[_ReduceItem]) -> Generator:
+        chunks: List[KeyGroupChunk] = []
+        for item in window:
+            if item.disk_bytes:
+                yield from self.node.disk.read(item.disk_bytes,
+                                               stream=f"p{item.pid}")
+            cpu = (self.config.compression.decompress_seconds(item.disk_raw)
+                   + self.costs.merge_seconds(item.merge_items)
+                   + self.costs.group_seconds(
+                       sum(len(vs) for _, vs in item.groups)))
+            if cpu:
+                yield self.node.host_work(1, cpu, tag="reduce.read")
+            chunks.append(KeyGroupChunk(index=item.index, groups=item.groups,
+                                        nbytes=item.nbytes))
+        return chunks if len(chunks) > 1 else chunks[0]
 
     def _stage(self, chunk: KeyGroupChunk) -> Generator:
         yield from self.device.transfer(chunk.nbytes, "h2d")
@@ -177,6 +228,7 @@ class ReducePhase:
 
     def _kernel(self, chunk: KeyGroupChunk) -> Generator:
         cfg = self.config
+        item = self._items_by_index[chunk.index]
         # Real reduction.
         out_pairs: List[Tuple[Any, Any]] = []
         if self.app.map_only_output:
@@ -194,8 +246,10 @@ class ReducePhase:
             cost = KernelCost(flops=base.flops,
                               device_bytes=base.device_bytes,
                               atomic_intensity=base.atomic_intensity,
-                              launches=1 + relaunches)
-        threads = min(chunk.n_keys, cfg.concurrent_keys) \
+                              launches=item.launches + relaunches)
+        # Thread count comes from the modeled launch window, which may
+        # span several simulation items (batch_size < window keys).
+        threads = min(item.window_keys or chunk.n_keys, cfg.concurrent_keys) \
             * cfg.reduce_threads_per_key
         if self.faults is not None:
             yield from self._rerun_reduce_failures(chunk, cost, threads)
@@ -258,14 +312,30 @@ class ReducePhase:
 
     def _write(self, out: ReduceOutput) -> Generator:
         pid = self._pid_by_index[out.chunk_index]
-        yield from self.backend.write_chunk(
-            self.node.node_id, out.nbytes, self.config.output_replication)
+        item = self._items_by_index[out.chunk_index]
+        # One write per modeled launch window: sub-items bank their bytes
+        # and the window's last one issues the (replicated) append, so the
+        # write-call count — and its per-call JNI/replica-latency costs —
+        # does not depend on the simulation batch size.
+        banked = self._window_bytes.pop(item.window_id, 0) + out.nbytes
+        if item.last:
+            yield from self.backend.write_chunk(
+                self.node.node_id, banked, self.config.output_replication)
+        else:
+            self._window_bytes[item.window_id] = banked
         self.output_pairs.setdefault(pid, []).extend(out.pairs)
         return out
 
 
 def _merge_pairs(app: MapReduceApp, runs) -> Generator:
-    """Real multi-way merge of sorted runs (heap-based, stable enough)."""
+    """Real multi-way merge of sorted runs (heap-based, stable enough).
+
+    A single run is already in order — the common case on large clusters,
+    where each partition receives one run per mapper that touched it —
+    so it skips the heap (and its per-item key calls) entirely.
+    """
+    if len(runs) == 1:
+        return iter(runs[0].pairs)
     import heapq
     return heapq.merge(*[r.pairs for r in runs],
                        key=lambda kv: app.sort_key(kv[0]))

@@ -107,11 +107,15 @@ class Network:
             raise
         fabric_wait = self.sim.now - t_fab
         try:
-            yield self.sim.timeout(wire_time)
+            # Coalesced timeouts: a batched shuffle starts many
+            # equal-sized transfers at the same instant; same-delay waits
+            # share one event (and FIFO order among the sharers follows
+            # subscription order, i.e. send order).
+            yield self.sim.shared_timeout(wire_time)
         finally:
             self._tx[src].release()
             self._fabric.release()
-        yield self.sim.timeout(self.spec.latency)
+        yield self.sim.shared_timeout(self.spec.latency)
         t_rx = self.sim.now
         rx_req = self._rx[dst].acquire()
         try:
@@ -121,7 +125,7 @@ class Network:
             raise
         rx_wait = self.sim.now - t_rx
         try:
-            yield self.sim.timeout(wire_time)
+            yield self.sim.shared_timeout(wire_time)
         finally:
             self._rx[dst].release()
         delivered = self._endpoint_alive(dst)

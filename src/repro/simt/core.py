@@ -340,6 +340,10 @@ class Simulator:
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
+        # Coalesced-timeout cache: delay -> shared Timeout, valid only for
+        # the instant it was created at (see :meth:`shared_timeout`).
+        self._shared_timeouts: dict[float, Timeout] = {}
+        self._shared_at: float = -1.0
 
     # -- factory helpers --------------------------------------------------
     def event(self) -> Event:
@@ -349,6 +353,31 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event firing ``delay`` virtual seconds from now."""
         return Timeout(self, delay, value)
+
+    def shared_timeout(self, delay: float) -> Timeout:
+        """A coalesced timeout: waiters created at the same instant with
+        the same delay share one event (and one heap entry).
+
+        Batched pipeline stages and shuffle transports routinely start
+        many identical waits at the same virtual time; coalescing them
+        turns N heap pushes + N pops into one of each.  Callbacks of a
+        shared event run in subscription order, so FIFO ordering between
+        same-timestamp waiters is preserved — the ordering guarantee the
+        per-event path gives via the heap's monotonic sequence numbers.
+
+        The shared event carries no value (waiters resume with ``None``)
+        and must not be failed or succeeded by callers.
+        """
+        if self._shared_at != self.now:
+            self._shared_timeouts.clear()
+            self._shared_at = self.now
+        ev = self._shared_timeouts.get(delay)
+        # A processed event would resume new waiters instantly (time
+        # travel); only reuse while its callback list is still open.
+        if ev is None or ev.callbacks is None:
+            ev = Timeout(self, delay)
+            self._shared_timeouts[delay] = ev
+        return ev
 
     def process(self, gen: Generator, name: str = "") -> Process:
         """Register ``gen`` as a process; returns its completion event."""

@@ -82,7 +82,11 @@ class KVSchema:
 
     def size_of(self, pairs: Iterable[Tuple[Any, Any]]) -> int:
         """Total serialized size of a pair collection."""
-        return sum(self.pair_bytes(k, v) for k, v in pairs)
+        kb, vb = self.key_bytes, self.value_bytes
+        if hasattr(pairs, "__len__"):
+            return (sum(kb(k) + vb(v) for k, v in pairs)
+                    + _PAIR_OVERHEAD * len(pairs))
+        return sum(kb(k) + vb(v) + _PAIR_OVERHEAD for k, v in pairs)
 
 
 # ------------------------------------------------------- binary pair codec

@@ -1,0 +1,107 @@
+"""Fault matrix × batched execution (``batch_size=64``).
+
+A batch is a *simulation* unit, not a recovery unit: the durable shuffle
+ledger marks whole splits, so a crash landing mid-batch must re-execute
+the whole split — never dropping the batches already collected nor
+duplicating the ones that survived in the partition accumulator.  Every
+cell re-asserts the two batched-specific guarantees on top of the output
+equality the base matrix checks:
+
+* ``leaked_buffer_slots == 0`` — the shared per-item slot (carried by a
+  window's final batch) is reclaimed even when the interrupt lands
+  between two batches of one split;
+* recovery output equality against the fault-free golden run.
+"""
+
+import pytest
+
+from repro.core.faults import FaultPlan, NodeCrash
+
+from tests.core.test_fault_matrix import CASES
+
+BATCH = 64
+SEVERITIES = (1, 3)
+
+
+@pytest.fixture(scope="module", params=sorted(CASES))
+def cell(request):
+    """(case, batched config, fault-free batched golden) per app."""
+    case = CASES[request.param]
+    cfg = case.config().with_(batch_size=BATCH)
+    return case, cfg, case.run(config=cfg)
+
+
+def test_batched_fault_free_matches_unbatched_golden(cell):
+    """Baseline sanity for the matrix: batching alone changes nothing."""
+    case, _cfg, golden = cell
+    case.assert_same_output(golden, case.run())
+    assert golden.stats["batch_size"] == BATCH
+    assert golden.stats["leaked_buffer_slots"] == 0
+
+
+@pytest.mark.parametrize("count", SEVERITIES)
+def test_map_crashes_batched(cell, count):
+    case, cfg, golden = cell
+    plan = FaultPlan(map_failures={s: 1 for s in range(count)})
+    res = case.run(faults=plan, config=cfg)
+    case.assert_same_output(res, golden)
+    assert res.stats["leaked_buffer_slots"] == 0
+    assert res.metrics.reexecutions == count
+    assert res.stats["task_failures"] == count
+    assert res.job_time > golden.job_time
+
+
+@pytest.mark.parametrize("count", SEVERITIES)
+def test_reduce_crashes_batched(cell, count):
+    case, cfg, golden = cell
+    occupied = [pid for pid in sorted(golden.output) if golden.output[pid]]
+    assert len(occupied) >= count
+    plan = FaultPlan(reduce_failures={p: 1 for p in occupied[:count]})
+    res = case.run(faults=plan, config=cfg)
+    case.assert_same_output(res, golden)
+    assert res.stats["leaked_buffer_slots"] == 0
+    assert res.metrics.reexecutions == count
+    assert res.metrics.wasted_seconds > 0
+
+
+@pytest.mark.parametrize("count", SEVERITIES)
+def test_node_crashes_batched(cell, count):
+    """Crashes staggered through the map window land between (and inside)
+    batch boundaries; the killed node's partial split accumulators die
+    with it and recovery re-executes whole splits on the survivors."""
+    case, cfg, golden = cell
+    crashes = tuple(NodeCrash(node=i + 1,
+                              at=golden.map_time * (0.3 + 0.2 * i))
+                    for i in range(count))
+    res = case.run(faults=FaultPlan(node_crashes=crashes), config=cfg)
+    case.assert_same_output(res, golden)
+    assert res.stats["leaked_buffer_slots"] == 0
+    assert sorted(res.stats["dead_nodes"]) == [c.node for c in crashes]
+    assert res.metrics.reexecutions == res.stats["reexecuted_splits"]
+    assert res.job_time > golden.job_time
+
+
+@pytest.mark.parametrize("count", SEVERITIES)
+def test_stragglers_with_speculation_batched(cell, count):
+    case, cfg, golden = cell
+    plan = FaultPlan(stragglers={s: 6.0 for s in range(count)})
+    res = case.run(faults=plan,
+                   config=cfg.with_(speculative_execution=True))
+    case.assert_same_output(res, golden)
+    assert res.stats["leaked_buffer_slots"] == 0
+    assert res.metrics.reexecutions == 0
+    assert res.metrics.speculative_wins <= res.metrics.speculative_launches
+
+
+def test_mid_batch_node_crash_neither_drops_nor_duplicates():
+    """The sharpest cell: kill a node at a time that falls strictly
+    inside one split's batch sequence (1/64 of the way into the map
+    phase) and check the recovered output pair-for-pair."""
+    case = CASES["wordcount"]
+    cfg = case.config().with_(batch_size=BATCH)
+    golden = case.run(config=cfg)
+    res = case.run(config=cfg, faults=FaultPlan(
+        node_crashes=(NodeCrash(node=1, at=golden.map_time / BATCH),)))
+    case.assert_same_output(res, golden)
+    assert res.stats["leaked_buffer_slots"] == 0
+    assert res.metrics.node_crashes == 1

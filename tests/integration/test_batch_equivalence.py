@@ -1,0 +1,173 @@
+"""Differential harness for batched hot-path execution.
+
+``batch_size`` is a *simulation granularity* knob, not a modeled behavior
+change: re-batching must not alter what the job computes or what the
+cluster is charged for.  The ground truth is ``batch_size=1`` (per-record
+simulation); every application is re-run at coarser batch sizes and the
+harness asserts, for each:
+
+* **identical sorted output** — re-batching may not drop, duplicate or
+  reorder a single output pair;
+* **identical per-stage byte counters** — disk reads/writes, network
+  transfers and every pipeline stage's payload bytes must sum to the
+  same totals (largest-remainder apportionment makes this exact, not
+  approximate);
+* **elapsed within the cost model's rounding tolerance** — all modeled
+  costs are additive in records/bytes, so virtual time drifts only by
+  the sub-batch overlap microstructure (bounded at a couple of percent);
+* **no leaked buffer slots** — the shared-slot interlock returns every
+  acquired slot at any granularity.
+
+The strict tier uses the buffer collector without the combiner: the hash
+collector's contention penalty and the combiner's partial aggregation
+depend on *launch* granularity (how many pairs one kernel invocation
+sees), so their cost/byte totals are legitimately batch-dependent.  A
+second tier re-checks output equality under the default hash+combiner
+configuration, where only the answer — not the counters — must match.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.apps import (KMeansApp, MatMulApp, PageViewApp, TeraSortApp,
+                        WordCountApp)
+from repro.apps import datagen
+from repro.core import JobConfig, run_glasswing
+from repro.hw.presets import das4_cluster
+from repro.storage.records import NO_COMPRESSION
+
+from tests.conftest import assert_outputs_match
+
+#: coarse batch sizes checked against the batch_size=1 ground truth
+BATCHES = (7, 64, 4096)
+#: relative virtual-time tolerance (overlap microstructure, see module doc)
+ELAPSED_RTOL = 0.02
+
+
+def _wordcount():
+    return (WordCountApp(), {"wiki": datagen.wiki_text(40_000, seed=5)},
+            dict(chunk_size=16_384), 2)
+
+
+def _pageview():
+    return (PageViewApp(), {"logs": datagen.web_logs(30_000, seed=2)},
+            dict(chunk_size=16_384), 2)
+
+
+def _terasort():
+    data = datagen.teragen(800, seed=3)
+    app = TeraSortApp.from_input(data, sample_every=29)
+    return (app, {"tera": data},
+            dict(chunk_size=20_000, output_replication=1,
+                 compression=NO_COMPRESSION), 2)
+
+
+def _kmeans():
+    pts = datagen.kmeans_points(2_000, 4, seed=4)
+    centers = datagen.kmeans_centers(8, 4, seed=5)
+    return (KMeansApp(centers), {"pts": pts}, dict(chunk_size=16_384), 2)
+
+
+def _matmul():
+    blob, _a, _b = datagen.matmul_tasks(64, 32, seed=6)
+    app = MatMulApp(32)
+    return (app, {"mm": blob},
+            dict(chunk_size=app.record_format.record_size * 2), 2)
+
+
+CASES = {
+    "wordcount": _wordcount,
+    "pageview": _pageview,
+    "terasort": _terasort,
+    "kmeans": _kmeans,
+    "matmul": _matmul,
+}
+
+
+def _run(case_name, batch_size, strict):
+    app, inputs, cfg_kwargs, nodes = CASES[case_name]()
+    cfg_kwargs = dict(cfg_kwargs)
+    if strict:
+        # Additive-cost tier: see module docstring.
+        cfg_kwargs.update(collector="buffer", use_combiner=False)
+    cfg = JobConfig(batch_size=batch_size, **cfg_kwargs)
+    return run_glasswing(app, inputs, das4_cluster(nodes=nodes), cfg)
+
+
+def _byte_counters(res):
+    """Per-stage byte totals: every traced span category that carries a
+    byte payload, plus the cluster-level monotonic counters."""
+    per_cat = defaultdict(int)
+    for span in res.timeline.spans:
+        nbytes = span.meta.get("bytes")
+        if nbytes:
+            per_cat[span.category] += nbytes
+    per_cat["stats.network_bytes"] = res.stats["network_bytes"]
+    per_cat["stats.pairs_emitted"] = res.stats["pairs_emitted"]
+    per_cat["stats.records_mapped"] = res.stats["records_mapped"]
+    per_cat["stats.keys_reduced"] = res.stats["keys_reduced"]
+    return dict(per_cat)
+
+
+@pytest.fixture(scope="module")
+def ground_truth():
+    """batch_size=1 runs, one per (case, tier), computed lazily."""
+    cache = {}
+
+    def get(case_name, strict):
+        key = (case_name, strict)
+        if key not in cache:
+            cache[key] = _run(case_name, 1, strict)
+        return cache[key]
+
+    return get
+
+
+@pytest.mark.parametrize("batch", BATCHES)
+@pytest.mark.parametrize("case_name", sorted(CASES))
+def test_batched_run_matches_per_record_ground_truth(ground_truth,
+                                                     case_name, batch):
+    truth = ground_truth(case_name, True)
+    res = _run(case_name, batch, True)
+
+    assert res.stats["leaked_buffer_slots"] == 0
+    assert truth.stats["leaked_buffer_slots"] == 0
+
+    # Identical output, pair for pair.
+    assert res.sorted_output() == truth.sorted_output()
+
+    # Identical per-stage byte counters (exact, not approximate).
+    assert _byte_counters(res) == _byte_counters(truth)
+
+    # Virtual time within the rounding tolerance.  Phase extents get a
+    # little extra headroom: their start/end points sit on individual
+    # stage boundaries, so the sub-batch overlap microstructure moves
+    # them slightly more than the end-to-end job time.
+    assert res.job_time == pytest.approx(truth.job_time, rel=ELAPSED_RTOL)
+    assert res.map_time == pytest.approx(truth.map_time,
+                                         rel=1.5 * ELAPSED_RTOL, abs=1e-9)
+
+
+@pytest.mark.parametrize("batch", BATCHES)
+@pytest.mark.parametrize("case_name", sorted(CASES))
+def test_batched_output_equal_under_default_config(ground_truth,
+                                                   case_name, batch):
+    """Hash collector + combiner: cost totals are launch-granularity
+    dependent (so no counter assertions), but the answer must not be."""
+    truth = ground_truth(case_name, False)
+    res = _run(case_name, batch, False)
+    assert res.stats["leaked_buffer_slots"] == 0
+    assert_outputs_match(res.output_pairs(), truth.output_pairs())
+
+
+def test_autotuned_default_equals_explicit_huge_batch():
+    """batch_size=None autotunes to one batch per split — identical in
+    every respect to an explicit batch no split exceeds."""
+    auto = _run("wordcount", None, True)
+    huge = _run("wordcount", 1 << 20, True)
+    assert auto.stats["batch_autotuned"] is True
+    assert huge.stats["batch_autotuned"] is False
+    assert auto.job_time == huge.job_time
+    assert auto.sorted_output() == huge.sorted_output()
+    assert _byte_counters(auto) == _byte_counters(huge)

@@ -1,0 +1,152 @@
+"""Coalesced (shared) timeouts: one Timeout event serving many waiters.
+
+The batched pipeline issues many equal-delay waits at the same instant
+(e.g. every transfer of an all-to-all shuffle burst).  ``shared_timeout``
+lets them ride a single heap entry.  The contract under test:
+
+* identical wake time as a private ``timeout`` of the same delay;
+* FIFO among sharers — callbacks run in subscription order, so two
+  pipeline stages completing batches at the same virtual time keep
+  their relative order (the regression this file locks in);
+* the cache is valid only at its creation instant, and never hands out
+  an already-fired event.
+"""
+
+from repro.simt import Simulator
+
+
+def test_shared_timeout_fires_at_delay():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield sim.shared_timeout(1.5)
+        seen.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [1.5]
+
+
+def test_same_delay_same_instant_shares_one_event():
+    sim = Simulator()
+    events = []
+
+    def proc():
+        ev = sim.shared_timeout(2.0)
+        events.append(ev)
+        yield ev
+
+    for _ in range(5):
+        sim.process(proc())
+    sim.run()
+    assert len(set(map(id, events))) == 1
+    assert sim.now == 2.0
+
+
+def test_different_delays_get_different_events():
+    sim = Simulator()
+    events = []
+
+    def proc(d):
+        ev = sim.shared_timeout(d)
+        events.append(ev)
+        yield ev
+
+    sim.process(proc(1.0))
+    sim.process(proc(2.0))
+    sim.run()
+    assert events[0] is not events[1]
+    assert sim.now == 2.0
+
+
+def test_cache_invalidated_when_clock_moves():
+    sim = Simulator()
+    events = []
+
+    def proc():
+        ev = sim.shared_timeout(1.0)
+        events.append(ev)
+        yield ev
+        ev2 = sim.shared_timeout(1.0)
+        events.append(ev2)
+        yield ev2
+
+    sim.process(proc())
+    sim.run()
+    assert events[0] is not events[1]
+    assert sim.now == 2.0
+
+
+def test_fired_event_never_reissued_same_instant():
+    # A process that waits on a shared timeout and, in the same timestep
+    # the event fires, asks for the same delay again must get a fresh
+    # (untriggered) event, not the spent one.
+    sim = Simulator()
+    wakes = []
+
+    def a():
+        yield sim.shared_timeout(1.0)
+        wakes.append(("a", sim.now))
+        yield sim.shared_timeout(1.0)
+        wakes.append(("a2", sim.now))
+
+    sim.process(a())
+    sim.run()
+    assert wakes == [("a", 1.0), ("a2", 2.0)]
+
+
+def test_fifo_order_among_sharers():
+    """Two stages finishing batches at the same virtual time wake in the
+    order they subscribed — the coalesced event must not reorder them."""
+    sim = Simulator()
+    order = []
+
+    def stage(name):
+        yield sim.shared_timeout(3.0)
+        order.append(name)
+
+    for name in ("stage0", "stage1", "stage2", "stage3"):
+        sim.process(stage(name))
+    sim.run()
+    assert order == ["stage0", "stage1", "stage2", "stage3"]
+
+
+def test_fifo_order_mixed_shared_and_private():
+    """Sharers of a coalesced timeout and a private timeout of the same
+    delay all fire at the same instant; processes scheduled earlier run
+    earlier (heap order is (time, seq))."""
+    sim = Simulator()
+    order = []
+
+    def shared(name):
+        yield sim.shared_timeout(1.0)
+        order.append(name)
+
+    def private(name):
+        yield sim.timeout(1.0)
+        order.append(name)
+
+    sim.process(shared("s0"))
+    sim.process(private("p0"))
+    sim.process(shared("s1"))
+    sim.run()
+    # The shared event was scheduled first (when s0 asked for it), so its
+    # sharers — in subscription order — precede the private timeout.
+    assert order == ["s0", "s1", "p0"]
+
+
+def test_shared_timeout_interleaves_with_work():
+    """A chain of shared waits across moving time matches plain timeouts."""
+    sim = Simulator()
+    log = []
+
+    def worker(name, delays):
+        for d in delays:
+            yield sim.shared_timeout(d)
+            log.append((name, sim.now))
+
+    sim.process(worker("w1", [1.0, 1.0]))
+    sim.process(worker("w2", [1.0, 2.0]))
+    sim.run()
+    assert log == [("w1", 1.0), ("w2", 1.0), ("w1", 2.0), ("w2", 3.0)]
