@@ -1,0 +1,188 @@
+"""Performance-regression gate over the committed scaling baseline.
+
+Replays sweep points from ``BENCH_scaling.json`` (the artefact
+``python -m repro.bench scaling`` commits) and diffs the re-measured
+*virtual* metrics against the recorded ones:
+
+* ``elapsed_s`` — simulated job time (relative tolerance; the model is
+  deterministic, so any drift is a code change, but float noise from
+  refactored arithmetic gets a small allowance);
+* ``network_bytes`` — shuffle volume (exact: byte counts never drift
+  legitimately);
+* map ``overlap_factor`` — the §III-D pipelining payoff (absolute
+  tolerance).
+
+Wall-clock fields are deliberately ignored — they measure the CI
+machine, not the model.  Exit status is nonzero on any regression, so
+CI can gate on ``python -m repro.bench.regress``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts
+
+from repro.bench.scaling import DEFAULT_JSON_PATH, QUICK_NODES, sweep_point
+
+__all__ = ["DEFAULT_TOLERANCES", "compare_point", "run_regress", "main"]
+
+#: metric -> (kind, tolerance); ``rel`` compares |new-old|/|old|,
+#: ``abs`` compares |new-old|
+DEFAULT_TOLERANCES: Dict[str, Any] = {
+    "elapsed_s": ("rel", 0.02),
+    "network_bytes": ("rel", 0.0),
+    "overlap_factor": ("abs", 0.05),
+}
+
+
+def _metric_of(point: Dict[str, Any], metric: str) -> float:
+    if metric == "overlap_factor":
+        return point["map_pipeline"]["overlap_factor"]
+    return point[metric]
+
+
+def compare_point(baseline: Dict[str, Any], measured: Dict[str, Any],
+                  tolerances: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Diff one sweep point; returns one row per compared metric."""
+    rows = []
+    for metric, (kind, tol) in sorted(tolerances.items()):
+        old = float(_metric_of(baseline, metric))
+        new = float(_metric_of(measured, metric))
+        delta = abs(new - old)
+        if kind == "rel":
+            deviation = delta / abs(old) if old else (0.0 if not delta
+                                                      else float("inf"))
+        else:
+            deviation = delta
+        rows.append({
+            "app": baseline["app"],
+            "nodes": baseline["nodes"],
+            "metric": metric,
+            "baseline": old,
+            "measured": new,
+            "deviation": deviation,
+            "tolerance": tol,
+            "kind": kind,
+            "ok": deviation <= tol,
+        })
+    return rows
+
+
+def run_regress(baseline_path: str = DEFAULT_JSON_PATH,
+                nodes: Optional[Sequence[int]] = None,
+                cases: Optional[Sequence[str]] = None,
+                tolerances: Optional[Dict[str, Any]] = None,
+                costs: HostCosts = DEFAULT_HOST_COSTS) -> Dict[str, Any]:
+    """Re-run selected baseline points and diff them.
+
+    ``nodes`` defaults to the CI-sized ladder (intersected with what the
+    baseline actually recorded); ``None`` never silently compares an
+    empty set — a baseline without matching points raises.
+    """
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    tolerances = dict(tolerances or DEFAULT_TOLERANCES)
+    recorded = {(p["app"], p["nodes"]): p for p in baseline["sweep"]}
+    want_nodes = set(nodes if nodes is not None else QUICK_NODES)
+    selected = sorted(
+        key for key in recorded
+        if key[1] in want_nodes and (cases is None or key[0] in cases))
+    if not selected:
+        raise ValueError(
+            f"no baseline points match nodes={sorted(want_nodes)} "
+            f"cases={cases!r} in {baseline_path}")
+    rows: List[Dict[str, Any]] = []
+    for app, n in selected:
+        measured = sweep_point(app, n, costs=costs)
+        rows.extend(compare_point(recorded[(app, n)], measured, tolerances))
+    return {
+        "baseline_path": baseline_path,
+        "points": len(selected),
+        "comparisons": rows,
+        "failures": [r for r in rows if not r["ok"]],
+        "ok": all(r["ok"] for r in rows),
+    }
+
+
+def _print_table(result: Dict[str, Any], out=None) -> None:
+    out = out if out is not None else sys.stdout
+    header = (f"{'app':<10} {'nodes':>5} {'metric':<16} {'baseline':>14} "
+              f"{'measured':>14} {'deviation':>10} {'tol':>8}  verdict")
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for r in result["comparisons"]:
+        tol = (f"{r['tolerance']:.0%}" if r["kind"] == "rel"
+               else f"{r['tolerance']:g}")
+        dev = (f"{r['deviation']:.2%}" if r["kind"] == "rel"
+               else f"{r['deviation']:.4f}")
+        print(f"{r['app']:<10} {r['nodes']:>5} {r['metric']:<16} "
+              f"{r['baseline']:>14.6g} {r['measured']:>14.6g} "
+              f"{dev:>10} {tol:>8}  "
+              f"{'ok' if r['ok'] else 'REGRESSION'}", file=out)
+    verdict = "PASS" if result["ok"] else (
+        f"FAIL ({len(result['failures'])} regression(s))")
+    print(f"\n{result['points']} point(s) replayed against "
+          f"{result['baseline_path']}: {verdict}", file=out)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.regress",
+        description="Replay the scaling sweep and diff it against the "
+                    "committed baseline; exits 1 on regression.")
+    parser.add_argument("--baseline", default=DEFAULT_JSON_PATH,
+                        help="baseline JSON (default: %(default)s)")
+    parser.add_argument("--nodes", type=int, action="append", default=None,
+                        help="cluster size to replay (repeatable; default: "
+                             "the CI quick ladder)")
+    parser.add_argument("--case", action="append", default=None,
+                        dest="cases", choices=["wordcount", "terasort"],
+                        help="app to replay (repeatable; default: all)")
+    parser.add_argument("--full", action="store_true",
+                        help="replay every node count the baseline records")
+    parser.add_argument("--tol-elapsed", type=float, default=None,
+                        metavar="REL", help="relative tolerance on elapsed_s")
+    parser.add_argument("--tol-bytes", type=float, default=None,
+                        metavar="REL",
+                        help="relative tolerance on network_bytes")
+    parser.add_argument("--tol-overlap", type=float, default=None,
+                        metavar="ABS",
+                        help="absolute tolerance on the map overlap factor")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="also write the comparison result as JSON")
+    args = parser.parse_args(argv)
+
+    tolerances = dict(DEFAULT_TOLERANCES)
+    if args.tol_elapsed is not None:
+        tolerances["elapsed_s"] = ("rel", args.tol_elapsed)
+    if args.tol_bytes is not None:
+        tolerances["network_bytes"] = ("rel", args.tol_bytes)
+    if args.tol_overlap is not None:
+        tolerances["overlap_factor"] = ("abs", args.tol_overlap)
+    nodes: Optional[Sequence[int]] = args.nodes
+    if args.full:
+        with open(args.baseline, encoding="utf-8") as fh:
+            nodes = sorted({p["nodes"]
+                            for p in json.load(fh)["sweep"]})
+    try:
+        result = run_regress(args.baseline, nodes=nodes, cases=args.cases,
+                             tolerances=tolerances)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"regress: {exc}", file=sys.stderr)
+        return 2
+    _print_table(result)
+    if args.json:
+        from repro.obs.telemetry import ensure_parent_dir
+        ensure_parent_dir(args.json)
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0 if result["ok"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

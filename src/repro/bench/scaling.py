@@ -28,9 +28,11 @@ from typing import Any, Dict, Optional, Sequence
 from repro.apps import TeraSortApp, WordCountApp
 from repro.apps.datagen import teragen, wiki_text
 from repro.core import JobConfig, run_glasswing
+from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts
 from repro.hw.presets import das4_cluster
 from repro.hw.specs import KiB
 from repro.obs.report import PipelineReport
+from repro.obs.telemetry import ensure_parent_dir
 from repro.storage.records import NO_COMPRESSION
 
 from repro.bench.harness import ExperimentReport, Table
@@ -80,12 +82,18 @@ _CASES = {"wordcount": _wc_case, "terasort": _ts_case}
 
 
 def sweep_point(case: str, nodes: int,
-                batch_size: Optional[int] = None) -> Dict[str, Any]:
-    """Run one (app, cluster size) cell; returns its JSON record."""
+                batch_size: Optional[int] = None,
+                costs: HostCosts = DEFAULT_HOST_COSTS) -> Dict[str, Any]:
+    """Run one (app, cluster size) cell; returns its JSON record.
+
+    ``costs`` overrides the host cost model — the regression gate's
+    self-test injects a slowed model here to prove it trips.
+    """
     app, inputs, cfg_kwargs = _CASES[case](nodes)
     cfg = JobConfig(batch_size=batch_size, **cfg_kwargs)
     wall0 = time.perf_counter()
-    res = run_glasswing(app, inputs, das4_cluster(nodes=nodes), cfg)
+    res = run_glasswing(app, inputs, das4_cluster(nodes=nodes), cfg,
+                        costs=costs)
     wall = time.perf_counter() - wall0
     point: Dict[str, Any] = {
         "app": case,
@@ -218,8 +226,9 @@ def report(nodes: Sequence[int] = NODES,
             "checks": [{"name": c.name, "passed": c.passed,
                         "detail": c.detail} for c in rep.checks],
         }
+        ensure_parent_dir(json_path)
         with open(json_path, "w") as fh:
-            json.dump(payload, fh, indent=2)
+            json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         rep.notes.append(f"wrote {json_path}")
 

@@ -17,6 +17,7 @@ Observability (traces and reports)::
 
     python -m repro wordcount --nodes 4 --trace-out trace.json   # Perfetto
     python -m repro terasort --report-json report.json --explain
+    python -m repro wordcount --metrics-interval 0.01 --metrics-out m.om
 """
 
 from __future__ import annotations
@@ -105,6 +106,14 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--explain", action="store_true",
                      help="print per-phase dominant-stage / critical-path "
                           "analysis")
+    obs.add_argument("--metrics-interval", type=float, default=None,
+                     metavar="SECONDS",
+                     help="sample queue depths / occupancy / in-flight "
+                          "bytes every SECONDS of simulated time")
+    obs.add_argument("--metrics-out", metavar="FILE", default=None,
+                     help="write sampled metrics (.om/.prom/.txt/"
+                          ".openmetrics selects OpenMetrics text, anything "
+                          "else JSONL); requires --metrics-interval")
     return parser
 
 
@@ -150,7 +159,8 @@ def make_job(args) -> Tuple[MapReduceApp, Dict[str, bytes], JobConfig]:
         device=DeviceKind.GPU if args.device == "gpu" else DeviceKind.CPU,
         storage=args.storage,
         buffering=args.buffering,
-        batch_size=args.batch_size)
+        batch_size=args.batch_size,
+        metrics_interval=args.metrics_interval)
     if args.app == "wordcount":
         return (WordCountApp(),
                 {"corpus": datagen.wiki_text(nbytes, seed=args.seed)},
@@ -183,6 +193,8 @@ def make_job(args) -> Tuple[MapReduceApp, Dict[str, bytes], JobConfig]:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.metrics_out and args.metrics_interval is None:
+        raise SystemExit("--metrics-out requires --metrics-interval")
     app, inputs, config = make_job(args)
     if args.speculate:
         config = config.with_(speculative_execution=True)
@@ -231,10 +243,17 @@ def main(argv=None) -> int:
         from repro.obs import write_chrome_trace
         print(f"  trace written to "
               f"{write_chrome_trace(result.timeline, args.trace_out)}")
+    if args.metrics_out:
+        from repro.obs import write_metrics
+        print(f"  metrics written to "
+              f"{write_metrics(result.telemetry, args.metrics_out)}")
     if args.report_json:
         import json
+
+        from repro.obs import ensure_parent_dir
+        ensure_parent_dir(args.report_json)
         with open(args.report_json, "w", encoding="utf-8") as fh:
-            json.dump(result.to_report(), fh, indent=2)
+            json.dump(result.to_report(), fh, indent=2, sort_keys=True)
         print(f"  report written to {args.report_json}")
     return 0
 

@@ -87,6 +87,11 @@ class JobConfig:
     #: observed kernel duration
     speculation_factor: float = 1.75
 
+    # -- observability ------------------------------------------------------
+    #: telemetry sampling period in *simulated* seconds; ``None`` disables
+    #: the sampler entirely (zero instrumentation cost)
+    metrics_interval: Optional[float] = None
+
     def __post_init__(self) -> None:
         if self.buffering not in (1, 2, 3):
             raise ValueError("buffering level must be 1, 2 or 3")
@@ -109,6 +114,8 @@ class JobConfig:
             raise ValueError("backoff_base must be >= 0")
         if self.speculation_factor <= 1.0:
             raise ValueError("speculation_factor must be > 1")
+        if self.metrics_interval is not None and self.metrics_interval <= 0:
+            raise ValueError("metrics_interval must be > 0 (or None)")
         if self.use_combiner and self.collector == "buffer":
             # §III-F: the combiner is supported only for the hash table
             # collection mechanism.

@@ -61,6 +61,9 @@ class GlasswingResult:
     timeline: Timeline
     metrics: JobMetrics
     stats: Dict[str, Any] = field(default_factory=dict)
+    #: live :class:`~repro.obs.telemetry.Telemetry` hub when the job ran
+    #: with ``config.metrics_interval`` set; ``None`` otherwise
+    telemetry: Optional[Any] = None
 
     def output_pairs(self) -> Iterator[Tuple[Any, Any]]:
         """All output pairs in partition order (TeraSort's total order)."""
@@ -111,6 +114,14 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
     config = config or JobConfig()
     sim = Simulator()
     timeline = Timeline()
+    telemetry = None
+    if config.metrics_interval is not None:
+        # Lazy import: the core layer only depends on obs when sampling
+        # is actually requested.  Must attach before Cluster construction
+        # so every layer registers its gauges as it is built.
+        from repro.obs.telemetry import Telemetry
+        telemetry = Telemetry(sim, interval=config.metrics_interval)
+        timeline.telemetry = telemetry
     cluster = Cluster(sim, cluster_spec, timeline=timeline)
     n = len(cluster)
 
@@ -234,8 +245,12 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
         result_box["recovery"] = recovery_stats
         result_box["times"] = (t1 - t0, t2 - t1, sim.now - t2)
         result_box["t_end"] = sim.now
+        if telemetry is not None:
+            telemetry.stop()
 
     sim.process(job(), name="glasswing-job")
+    if telemetry is not None:
+        telemetry.start()
     sim.run()
 
     if "times" not in result_box:
@@ -280,7 +295,8 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
         app_name=app.name, config=config, n_nodes=n,
         job_time=result_box["t_end"],
         map_time=map_time, merge_delay=merge_delay, reduce_time=reduce_time,
-        output=output, timeline=timeline, metrics=metrics, stats=stats)
+        output=output, timeline=timeline, metrics=metrics, stats=stats,
+        telemetry=telemetry)
 
 
 def _make_device(sim: Simulator, node, kind: DeviceKind) -> Device:

@@ -79,6 +79,20 @@ class IntermediateManager:
         self.merge_delay: float = 0.0
         self.spilled_bytes = 0
         self.dead = False
+        tele = timeline.telemetry
+        if tele is not None:
+            tele.gauge("glasswing_merge_cache_bytes",
+                       help="partition-cache fill (flush threshold = "
+                            "capacity)",
+                       probe=lambda: self._mem_bytes,
+                       capacity=config.cache_threshold, node=node.name)
+            tele.gauge("glasswing_merge_backlog_tasks",
+                       help="flush/compact tasks enqueued but unfinished",
+                       probe=lambda: self._pending, node=node.name)
+            tele.gauge("glasswing_merge_queue_depth",
+                       help="merge tasks waiting for a merger thread",
+                       probe=lambda: self._queue.probe()["depth"],
+                       node=node.name)
 
     # -- ingestion ---------------------------------------------------------
     def add_run(self, pid: int, run: SortedRun) -> None:

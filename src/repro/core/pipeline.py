@@ -84,6 +84,10 @@ class Pipeline:
         self.outputs: List[Any] = []
         self.killed = False
         self._stage_procs: List = []
+        # Wait-distribution instruments, bound in _drive() when the
+        # timeline carries a live telemetry hub (None = sampling off).
+        self._slot_wait_hist = None
+        self._queue_wait_hist = None
         # Queues still holding (slot, payload) tuples when the pipeline is
         # killed; kill()'s reaper drains them so the slots return to their
         # pool instead of leaking with the dropped chunks.
@@ -133,6 +137,35 @@ class Pipeline:
                              (q_kernel, self.out_pool),
                              (q_retrieve, self.out_pool)]
 
+        tele = self.timeline.telemetry
+        if tele is not None:
+            base = dict(phase=self.name, node=self.instance)
+            for qname, queue in (("read", q_read), ("stage", q_stage),
+                                 ("kernel", q_kernel),
+                                 ("retrieve", q_retrieve)):
+                tele.gauge("glasswing_pipeline_queue_depth",
+                           help="items waiting in the inter-stage queue",
+                           probe=lambda q=queue: len(q),
+                           queue=qname, **base)
+            for pname, pool in (("in", self.in_pool), ("out", self.out_pool)):
+                tele.gauge("glasswing_pipeline_slots_in_use",
+                           help="buffer slots held by in-flight items "
+                                "(capacity = the buffering level)",
+                           probe=lambda p=pool: p.outstanding,
+                           capacity=pool.slots, pool=pname, **base)
+                tele.gauge("glasswing_pipeline_slot_waiters",
+                           help="stages blocked waiting for a buffer slot",
+                           probe=lambda p=pool: p.probe()["waiters"],
+                           pool=pname, **base)
+            self._slot_wait_hist = tele.histogram(
+                "glasswing_pipeline_slot_wait_seconds",
+                help="simulated seconds stages waited for buffer slots",
+                **base)
+            self._queue_wait_hist = tele.histogram(
+                "glasswing_pipeline_queue_wait_seconds",
+                help="simulated seconds stages waited on inter-stage queues",
+                **base)
+
         procs = [
             sim.process(self._input_stage(q_read), name=f"{self.name}.input"),
             sim.process(self._mid_stage("stage", self.stage_fn, q_read, q_stage,
@@ -170,6 +203,15 @@ class Pipeline:
                 if slot is not None:
                     pool.release(slot)
 
+    def _observe_waits(self, slot_wait: Optional[float] = None,
+                       queue_wait: Optional[float] = None) -> None:
+        if self._slot_wait_hist is None:
+            return
+        if slot_wait is not None:
+            self._slot_wait_hist.observe(slot_wait)
+        if queue_wait is not None:
+            self._queue_wait_hist.observe(queue_wait)
+
     def _span(self, stage: str, start: float, **meta: Any) -> None:
         self.timeline.record(f"{self.name}.{stage}", self.instance,
                              start, self.sim.now, **meta)
@@ -200,6 +242,7 @@ class Pipeline:
                 self.in_pool.cancel(acq)
                 raise
             slot_wait = self.sim.now - t_req
+            self._observe_waits(slot_wait=slot_wait)
             start = self.sim.now
             try:
                 payload = yield from self.read_fn(item)
@@ -245,6 +288,7 @@ class Pipeline:
                 downstream.close()
                 return
             queue_wait = self.sim.now - t_req
+            self._observe_waits(queue_wait=queue_wait)
             if fn is not None:
                 start = self.sim.now
                 try:
@@ -292,6 +336,7 @@ class Pipeline:
                         self.in_pool.release(in_slot)
                     raise
             slot_wait = self.sim.now - t_slot
+            self._observe_waits(slot_wait=slot_wait, queue_wait=queue_wait)
             start = self.sim.now
             try:
                 result = yield from self.kernel_fn(payload)
@@ -324,6 +369,7 @@ class Pipeline:
             except StoreClosed:
                 return
             queue_wait = self.sim.now - t_req
+            self._observe_waits(queue_wait=queue_wait)
             start = self.sim.now
             try:
                 sunk = yield from self.output_fn(payload)

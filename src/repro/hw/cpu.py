@@ -90,6 +90,15 @@ class FluidCPU:
     def active_tasks(self) -> int:
         return len(self._tasks)
 
+    def busy_fraction(self) -> float:
+        """Fraction of the pool's capacity currently executing (0..1)."""
+        return min(1.0, self._demand / self.capacity)
+
+    def probe(self) -> dict:
+        """Utilization snapshot for telemetry samplers."""
+        return {"capacity": self.capacity, "demand": self._demand,
+                "tasks": len(self._tasks)}
+
     def _share(self) -> float:
         """Current fair-share factor in (0, 1]."""
         if self._demand <= self.capacity:

@@ -81,6 +81,11 @@ class Disk:
             self.timeline.record(f"disk.{op}", self.name, start, self.sim.now,
                                  bytes=nbytes)
 
+    def probe(self) -> dict:
+        """Channel-occupancy snapshot for telemetry samplers."""
+        state = self._channel.probe()
+        return {"busy": state["in_use"], "waiters": state["waiters"]}
+
     def time_for(self, op: str, nbytes: int) -> float:
         """Uncontended duration of one transfer (used by cost estimates)."""
         bw = self.spec.read_bw if op == "read" else self.spec.write_bw

@@ -33,6 +33,23 @@ class Node:
         self.cpu = FluidCPU(sim, spec.hw_threads, name=f"n{node_id}.cpu")
         self.disk = Disk(sim, spec.disk, name=f"n{node_id}.disk",
                          timeline=self.timeline)
+        tele = self.timeline.telemetry
+        if tele is not None:
+            tele.gauge("glasswing_node_cpu_busy_fraction",
+                       help="fraction of host hardware threads executing",
+                       probe=self.cpu.busy_fraction, capacity=1.0,
+                       node=self.name)
+            tele.gauge("glasswing_node_cpu_demand_threads",
+                       help="thread demand across active host tasks",
+                       probe=lambda: self.cpu.demand, node=self.name)
+            tele.gauge("glasswing_node_disk_busy",
+                       help="disk channel occupancy (0 idle, 1 transferring)",
+                       probe=lambda: self.disk.probe()["busy"], capacity=1.0,
+                       node=self.name)
+            tele.gauge("glasswing_node_disk_waiters",
+                       help="requests queued on the disk channel",
+                       probe=lambda: self.disk.probe()["waiters"],
+                       node=self.name)
 
     @property
     def name(self) -> str:

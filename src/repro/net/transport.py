@@ -11,7 +11,7 @@ is lost exactly as on a real cluster.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Any, Generator, Optional
 
 from repro.simt.core import Interrupt, Simulator
 from repro.simt.resources import Resource
@@ -61,6 +61,29 @@ class Network:
         self.bytes_moved = 0
         #: optional ClusterHealth view; when set, sends to dead nodes drop
         self.health = None
+        # Per-link telemetry state, maintained only when the timeline
+        # carries a live metrics hub (zero cost otherwise).
+        self._inflight: dict[tuple[int, int], int] = {}
+        self._link_counters: dict[tuple[int, int], Any] = {}
+
+    def _link_telemetry(self, src: int, dst: int):
+        """Lazily register (gauge, counter) for one directed link."""
+        tele = self.timeline.telemetry if self.timeline is not None else None
+        if tele is None:
+            return None
+        key = (src, dst)
+        counter = self._link_counters.get(key)
+        if counter is None:
+            link = f"{src}->{dst}"
+            self._inflight.setdefault(key, 0)
+            tele.gauge("glasswing_shuffle_inflight_bytes",
+                       help="bytes currently on the wire per directed link",
+                       probe=lambda k=key: self._inflight[k], link=link)
+            counter = self._link_counters[key] = tele.counter(
+                "glasswing_shuffle_bytes",
+                help="cumulative bytes completed per directed link",
+                link=link)
+        return counter
 
     def _endpoint_alive(self, node: int) -> bool:
         return self.health is None or self.health.alive(node)
@@ -83,6 +106,20 @@ class Network:
             return False
         if src == dst or nbytes == 0:
             return True
+        link_counter = self._link_telemetry(src, dst)
+        if link_counter is None:
+            return (yield from self._wire(src, dst, nbytes))
+        # In-flight gauge covers the whole transfer, including interrupt
+        # exits (a killed sender must not pin phantom bytes on the link).
+        self._inflight[(src, dst)] += nbytes
+        try:
+            delivered = yield from self._wire(src, dst, nbytes)
+        finally:
+            self._inflight[(src, dst)] -= nbytes
+        link_counter.inc(nbytes)
+        return delivered
+
+    def _wire(self, src: int, dst: int, nbytes: int) -> Generator:
         start = self.sim.now
         wire_time = nbytes / self.spec.bandwidth
         # Store-and-forward phases: a flow never holds one endpoint while

@@ -9,14 +9,23 @@ into artefacts a human (or a dashboard) can consume:
   thread row per pipeline stage;
 * :mod:`repro.obs.report` — :class:`PipelineReport` (per-stage
   utilization, overlap factor, dominant stage, critical-path
-  attribution) and the structured job report behind
-  :meth:`GlasswingResult.to_report`.
+  attribution, saturated-resource ranking) and the structured job
+  report behind :meth:`GlasswingResult.to_report`;
+* :mod:`repro.obs.telemetry` — the continuous-sampling metrics hub
+  (counters/gauges/histograms snapshotted every
+  ``JobConfig.metrics_interval`` simulated seconds) with JSONL and
+  OpenMetrics exporters plus a self-contained format validator.
 """
 
 from repro.obs.chrome import (chrome_trace_events, to_chrome_trace,
                               write_chrome_trace)
 from repro.obs.report import (PIPELINE_STAGES, PipelineReport,
                               aggregate_counters, build_job_report)
+from repro.obs.telemetry import (Counter, Gauge, Histogram, MetricsRegistry,
+                                 Telemetry, ensure_parent_dir,
+                                 openmetrics_text, validate_openmetrics,
+                                 write_metrics, write_metrics_jsonl,
+                                 write_openmetrics)
 
 __all__ = [
     "chrome_trace_events",
@@ -26,4 +35,15 @@ __all__ = [
     "PipelineReport",
     "aggregate_counters",
     "build_job_report",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Telemetry",
+    "ensure_parent_dir",
+    "openmetrics_text",
+    "validate_openmetrics",
+    "write_metrics",
+    "write_metrics_jsonl",
+    "write_openmetrics",
 ]

@@ -25,6 +25,8 @@ from typing import Any, Dict, List
 
 from repro.simt.trace import Timeline
 
+from repro.obs.telemetry import ensure_parent_dir
+
 __all__ = ["chrome_trace_events", "to_chrome_trace", "write_chrome_trace"]
 
 #: virtual seconds -> trace microseconds
@@ -100,7 +102,12 @@ def to_chrome_trace(timeline: Timeline) -> Dict[str, Any]:
 
 
 def write_chrome_trace(timeline: Timeline, path: str) -> str:
-    """Serialise the trace to ``path``; returns the path for chaining."""
+    """Serialise the trace to ``path``; returns the path for chaining.
+
+    Parent directories are created as needed and keys are emitted in
+    sorted order, so two identical runs produce byte-identical traces.
+    """
+    ensure_parent_dir(path)
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(to_chrome_trace(timeline), fh)
+        json.dump(to_chrome_trace(timeline), fh, sort_keys=True)
     return path

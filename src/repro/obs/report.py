@@ -43,10 +43,14 @@ class PipelineReport:
     """
 
     def __init__(self, timeline: Timeline, phase: str = "map",
-                 node: Optional[str] = None):
+                 node: Optional[str] = None, telemetry: Any = None):
         self.timeline = timeline
         self.phase = phase
         self.node = node if node is not None else self._critical_node()
+        # Sampled metrics, when the job ran with a live Telemetry hub —
+        # enables the saturation analysis below.
+        self.telemetry = (telemetry if telemetry is not None
+                          else getattr(timeline, "telemetry", None))
 
     # -- node resolution ---------------------------------------------------
     def _critical_node(self) -> Optional[str]:
@@ -136,6 +140,73 @@ class PipelineReport:
                 t = prev
         return attribution
 
+    # -- sampled-telemetry analysis ----------------------------------------
+    def _phase_window(self) -> Tuple[float, float]:
+        spans = [s for s in self.timeline.by_category(f"{self.phase}.elapsed")
+                 if self.node is None or s.name == self.node]
+        if not spans:
+            return (float("-inf"), float("inf"))
+        return (min(s.start for s in spans), max(s.end for s in spans))
+
+    def interval_rates(self) -> Dict[str, List[Tuple[float, float]]]:
+        """Per-interval rates of every sampled counter series
+        (``{} `` without telemetry)."""
+        if self.telemetry is None:
+            return {}
+        return self.telemetry.rates()
+
+    def saturation(self) -> List[Dict[str, Any]]:
+        """Capacity-bearing gauges relevant to this phase/node, ranked by
+        mean fill level over the phase window.
+
+        A gauge participates when it declared a ``capacity`` and its
+        labels do not contradict the analysed phase and node (label
+        absent counts as matching, so cluster-wide gauges rank against
+        pipeline-local ones).  ``level`` is value/capacity, averaged
+        over the sampler ticks falling inside the phase window.
+        """
+        tele = self.telemetry
+        if tele is None:
+            return []
+        t0, t1 = self._phase_window()
+        points = tele.series()
+        out: List[Dict[str, Any]] = []
+        for metric in tele.registry.sorted_metrics():
+            capacity = getattr(metric, "capacity", None)
+            if metric.kind != "gauge" or not capacity:
+                continue
+            labels = metric.label_dict
+            if labels.get("phase", self.phase) != self.phase:
+                continue
+            if self.node is not None and labels.get("node",
+                                                    self.node) != self.node:
+                continue
+            pts = [(t, v)
+                   for t, v in points.get((metric.name, metric.labels), [])
+                   if t0 <= t <= t1]
+            if not pts:
+                continue
+            levels = [v / capacity for _t, v in pts]
+            out.append({
+                "series": metric.series(),
+                "capacity": capacity,
+                "mean_level": sum(levels) / len(levels),
+                "peak_level": max(levels),
+                "samples": len(levels),
+            })
+        out.sort(key=lambda e: (-e["mean_level"], e["series"]))
+        return out
+
+    def saturated_resource(self,
+                           threshold: float = 0.5) -> Optional[Dict[str, Any]]:
+        """The hottest capacity-bearing gauge of the phase, when its mean
+        fill level crosses ``threshold`` (``None`` otherwise — nothing
+        the sampler watched was meaningfully saturated)."""
+        ranked = self.saturation()
+        if ranked and ranked[0]["mean_level"] >= threshold:
+            return ranked[0]
+        return None
+
     # -- rendering ---------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable summary of the analysis."""
@@ -148,6 +219,8 @@ class PipelineReport:
             "overlap_factor": self.overlap_factor,
             "dominant_stage": self.dominant_stage,
             "critical_path": self.critical_path(),
+            "saturation": self.saturation(),
+            "saturated_resource": self.saturated_resource(),
         }
 
     def explain(self) -> str:
@@ -178,6 +251,15 @@ class PipelineReport:
                      + ", ".join(f"{'buffer-wait' if k == 'wait' else k} "
                                  f"{100 * v / elapsed:.1f}%"
                                  for v, k in parts))
+        if self.telemetry is not None:
+            hot = self.saturated_resource()
+            if hot is not None:
+                lines.append(f"  saturated         {hot['series']} — mean "
+                             f"{100 * hot['mean_level']:.0f}% of capacity, "
+                             f"peak {100 * hot['peak_level']:.0f}%")
+            else:
+                lines.append("  saturated         (no sampled resource above "
+                             "50% of capacity)")
         return "\n".join(lines)
 
 
@@ -244,9 +326,19 @@ def build_job_report(result) -> Dict[str, Any]:
     """
     timeline = result.timeline
     metrics = result.metrics
+    telemetry = getattr(result, "telemetry", None)
     phases = {}
     for phase in ("map", "reduce"):
-        phases[phase] = PipelineReport(timeline, phase=phase).to_dict()
+        phases[phase] = PipelineReport(timeline, phase=phase,
+                                       telemetry=telemetry).to_dict()
+    telemetry_section = None
+    if telemetry is not None:
+        telemetry_section = {
+            "interval_s": telemetry.interval,
+            "ticks": len(telemetry.ticks),
+            "series": len(telemetry.registry),
+            "final": telemetry.final_values(),
+        }
     return {
         "schema": "glasswing-report/1",
         "app": result.app_name,
@@ -273,4 +365,5 @@ def build_job_report(result) -> Dict[str, Any]:
             "speculative_wins": metrics.speculative_wins,
         },
         "counters": aggregate_counters(timeline),
+        "telemetry": telemetry_section,
     }

@@ -1,0 +1,590 @@
+"""Continuous telemetry: a metrics registry sampled in simulated time.
+
+Post-hoc spans (:mod:`repro.simt.trace`) answer *how long did it take*;
+this module answers *what was the system doing at second t* — the
+time-varying queue depths, buffer occupancy and in-flight shuffle bytes
+that determine which pipeline stage dominates (paper §3–4).  Three
+pieces:
+
+* a **registry** of :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+  metrics.  Gauges are probe-based: instrumented components register a
+  zero-argument callable that reads live state (a ``Store``'s depth, a
+  ``BufferPool``'s outstanding slots), so a disabled registry costs one
+  ``None`` check and an enabled one costs nothing between samples;
+* a **sampler process** that snapshots every metric each
+  ``interval`` of *simulated* seconds.  It only reads state — it never
+  acquires resources or creates shared timeouts — so enabling sampling
+  cannot change job timing or byte counters (asserted by the
+  differential tests);
+* **exporters**: JSONL (one sample row per line) and OpenMetrics text,
+  both byte-deterministic for identical runs, plus
+  :func:`validate_openmetrics`, a self-contained format checker used by
+  CI and the tests.
+
+The registry is reached through ``Timeline.telemetry`` — every
+instrumented layer already carries the timeline, so no signature
+changes; ``simt`` itself stays dependency-free by exposing plain
+``probe()`` state dicts that this module wraps into gauges.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "Telemetry",
+    "DEFAULT_WAIT_BOUNDS", "ensure_parent_dir", "render_series",
+    "write_metrics_jsonl", "write_openmetrics", "write_metrics",
+    "openmetrics_text", "validate_openmetrics",
+]
+
+#: histogram bucket bounds for simulated-seconds wait distributions
+DEFAULT_WAIT_BOUNDS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _fmt_value(value: Any) -> str:
+    """Shortest-round-trip number rendering (deterministic across runs)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\"", "\\\"")
+            .replace("\n", "\\n"))
+
+
+def render_series(name: str, labels: LabelKey) -> str:
+    """Canonical ``name{k="v",...}`` rendering of one series."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Metric:
+    """Base: a named, labelled instrument registered once per series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, labels: LabelKey, help: str = ""):
+        if not _METRIC_NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for k, _v in labels:
+            if not _LABEL_NAME_RE.match(k):
+                raise ValueError(f"invalid label name {k!r}")
+        self.name = name
+        self.labels = labels
+        self.help = help
+
+    @property
+    def label_dict(self) -> Dict[str, str]:
+        return dict(self.labels)
+
+    def series(self) -> str:
+        return render_series(self.name, self.labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.series()}>"
+
+
+class Counter(Metric):
+    """Monotonically increasing total (e.g. cumulative shuffle bytes)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey, help: str = ""):
+        super().__init__(name, labels, help)
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge(Metric):
+    """Point-in-time level, either set directly or read from probes.
+
+    A probe is a zero-argument callable returning the current value;
+    multiple probes on one series sum (two sequential pipelines on the
+    same node and phase contribute one combined depth).  ``capacity``
+    optionally names the gauge's saturation ceiling, which the
+    :class:`~repro.obs.report.PipelineReport` saturation analysis uses.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey, help: str = "",
+                 capacity: Optional[float] = None):
+        super().__init__(name, labels, help)
+        self._value: float = 0
+        self._probes: List[Callable[[], float]] = []
+        self.capacity = capacity
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def add_probe(self, probe: Callable[[], float]) -> None:
+        self._probes.append(probe)
+
+    @property
+    def value(self) -> float:
+        if self._probes:
+            return sum(p() for p in self._probes)
+        return self._value
+
+
+class Histogram(Metric):
+    """Cumulative-bucket distribution of observed values."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelKey, help: str = "",
+                 bounds: Sequence[float] = DEFAULT_WAIT_BOUNDS):
+        super().__init__(name, labels, help)
+        bounds = tuple(float(b) for b in bounds)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self._counts[i] += 1
+                return
+        self._counts[-1] += 1
+
+    def cumulative_buckets(self) -> List[Tuple[str, int]]:
+        """``(le, cumulative count)`` pairs ending with ``+Inf``."""
+        out: List[Tuple[str, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self._counts):
+            running += n
+            out.append((_fmt_value(bound), running))
+        out.append(("+Inf", self.count))
+        return out
+
+
+class MetricsRegistry:
+    """Holds every registered series; idempotent re-registration.
+
+    Requesting an existing ``(name, labels)`` returns the same
+    instrument (a gauge additionally absorbs the new probe), so
+    components register unconditionally without coordinating.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelKey], Metric] = {}
+        self._kinds: Dict[str, str] = {}
+        self._helps: Dict[str, str] = {}
+
+    def _register(self, name: str, labels: Dict[str, Any], kind: str,
+                  help: str) -> Tuple[Optional[Metric], LabelKey]:
+        if self._kinds.setdefault(name, kind) != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{self._kinds[name]}, not {kind}")
+        if help and not self._helps.get(name):
+            self._helps[name] = help
+        key = _label_key(labels)
+        return self._metrics.get((name, key)), key
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        existing, key = self._register(name, labels, "counter", help)
+        if existing is None:
+            existing = self._metrics[(name, key)] = Counter(name, key, help)
+        return existing  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "",
+              probe: Optional[Callable[[], float]] = None,
+              capacity: Optional[float] = None, **labels: Any) -> Gauge:
+        existing, key = self._register(name, labels, "gauge", help)
+        if existing is None:
+            existing = self._metrics[(name, key)] = Gauge(
+                name, key, help, capacity=capacity)
+        gauge: Gauge = existing  # type: ignore[assignment]
+        if probe is not None:
+            gauge.add_probe(probe)
+        if capacity is not None and gauge.capacity is None:
+            gauge.capacity = capacity
+        return gauge
+
+    def histogram(self, name: str, help: str = "",
+                  bounds: Sequence[float] = DEFAULT_WAIT_BOUNDS,
+                  **labels: Any) -> Histogram:
+        existing, key = self._register(name, labels, "histogram", help)
+        if existing is None:
+            existing = self._metrics[(name, key)] = Histogram(
+                name, key, help, bounds=bounds)
+        return existing  # type: ignore[return-value]
+
+    def sorted_metrics(self) -> List[Metric]:
+        """All instruments in (name, labels) order — the export order."""
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def kind_of(self, name: str) -> Optional[str]:
+        return self._kinds.get(name)
+
+    def help_of(self, name: str) -> str:
+        return self._helps.get(name, "")
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+class Telemetry:
+    """A registry plus the simulated-time sampler process.
+
+    The engine creates one per job when ``JobConfig.metrics_interval``
+    is set, hangs it off the shared ``Timeline`` (so every instrumented
+    layer can reach it without signature changes), calls :meth:`start`
+    before the job and :meth:`stop` when the orchestrator finishes.
+    Samples land in :attr:`samples` as plain dict rows, tick-major and
+    series-sorted within a tick — already in export order.
+    """
+
+    def __init__(self, sim, interval: float):
+        if interval <= 0:
+            raise ValueError("metrics interval must be > 0 simulated seconds")
+        self.sim = sim
+        self.interval = float(interval)
+        self.registry = MetricsRegistry()
+        self.samples: List[Dict[str, Any]] = []
+        self.ticks: List[float] = []
+        self._stopped = False
+        self._started = False
+
+    # -- registration (delegates) ----------------------------------------
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        return self.registry.counter(name, help, **labels)
+
+    def gauge(self, name: str, help: str = "",
+              probe: Optional[Callable[[], float]] = None,
+              capacity: Optional[float] = None, **labels: Any) -> Gauge:
+        return self.registry.gauge(name, help, probe=probe,
+                                   capacity=capacity, **labels)
+
+    def histogram(self, name: str, help: str = "",
+                  bounds: Sequence[float] = DEFAULT_WAIT_BOUNDS,
+                  **labels: Any) -> Histogram:
+        return self.registry.histogram(name, help, bounds=bounds, **labels)
+
+    # -- sampling ---------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the sampler process (idempotent)."""
+        if not self._started:
+            self._started = True
+            self.sim.process(self._run(), name="telemetry.sampler")
+
+    def stop(self) -> None:
+        """End sampling; takes one final snapshot at the current time."""
+        self._stopped = True
+        self.sample()
+
+    def _run(self):
+        while True:
+            yield self.sim.timeout(self.interval)
+            if self._stopped:
+                return
+            self.sample()
+            # Nothing else pending: the job is either wedged or ended
+            # without stop(); ticking on would keep the event loop alive
+            # forever and mask the engine's deadlock detection.
+            if self.sim.peek() == float("inf"):
+                return
+
+    def sample(self) -> None:
+        """Snapshot every registered series at the current virtual time."""
+        t = self.sim.now
+        if self.ticks and t <= self.ticks[-1]:
+            return
+        self.ticks.append(t)
+        for metric in self.registry.sorted_metrics():
+            row: Dict[str, Any] = {
+                "t": t,
+                "metric": metric.name,
+                "type": metric.kind,
+                "labels": metric.label_dict,
+            }
+            if isinstance(metric, Histogram):
+                row["count"] = metric.count
+                row["sum"] = metric.sum
+                row["buckets"] = {le: n
+                                  for le, n in metric.cumulative_buckets()}
+            else:
+                row["value"] = metric.value
+            self.samples.append(row)
+
+    # -- series queries ---------------------------------------------------
+    def series(self) -> Dict[Tuple[str, LabelKey], List[Tuple[float, float]]]:
+        """``(name, labels) -> [(t, value), ...]`` for counters/gauges."""
+        out: Dict[Tuple[str, LabelKey], List[Tuple[float, float]]] = {}
+        for row in self.samples:
+            if row["type"] == "histogram":
+                continue
+            key = (row["metric"], _label_key(row["labels"]))
+            out.setdefault(key, []).append((row["t"], row["value"]))
+        return out
+
+    def final_values(self) -> Dict[str, float]:
+        """Last sampled value of every counter/gauge series."""
+        return {render_series(name, labels): pts[-1][1]
+                for (name, labels), pts in sorted(self.series().items())}
+
+    def rates(self) -> Dict[str, List[Tuple[float, float]]]:
+        """Per-interval rates of every counter series (units/sim-second)."""
+        out: Dict[str, List[Tuple[float, float]]] = {}
+        for (name, labels), pts in sorted(self.series().items()):
+            if self.registry.kind_of(name) != "counter":
+                continue
+            rows = [(t1, (v1 - v0) / (t1 - t0))
+                    for (t0, v0), (t1, v1) in zip(pts, pts[1:]) if t1 > t0]
+            out[render_series(name, labels)] = rows
+        return out
+
+
+# -- export ---------------------------------------------------------------
+
+def ensure_parent_dir(path: str) -> str:
+    """Create ``path``'s parent directories if missing; returns ``path``."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    return path
+
+
+def write_metrics_jsonl(telemetry: Telemetry, path: str) -> str:
+    """One JSON object per sample row, keys sorted — diff-stable."""
+    ensure_parent_dir(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        for row in telemetry.samples:
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return path
+
+
+def openmetrics_text(telemetry: Telemetry) -> str:
+    """The sampled series as OpenMetrics exposition text.
+
+    Families appear in sorted name order, each with its ``# TYPE`` and
+    ``# HELP`` line followed by every sample of the family in time
+    order (timestamps are simulated seconds); counters expose the
+    mandatory ``_total`` suffix and histograms their cumulative
+    ``_bucket``/``_count``/``_sum`` triplet.  Ends with ``# EOF``.
+    """
+    registry = telemetry.registry
+    by_family: Dict[str, List[Dict[str, Any]]] = {}
+    for row in telemetry.samples:
+        by_family.setdefault(row["metric"], []).append(row)
+    lines: List[str] = []
+    for family in sorted(by_family):
+        kind = registry.kind_of(family) or "gauge"
+        lines.append(f"# TYPE {family} {kind}")
+        help_text = registry.help_of(family)
+        if help_text:
+            lines.append(f"# HELP {family} {help_text}")
+        for row in by_family[family]:
+            labels = _label_key(row["labels"])
+            ts = _fmt_value(row["t"])
+            if kind == "histogram":
+                for le, n in sorted(row["buckets"].items(),
+                                    key=lambda kv: float(kv[0].replace(
+                                        "+Inf", "inf"))):
+                    bucket_labels = _label_key(
+                        dict(row["labels"], le=le))
+                    lines.append(
+                        f"{render_series(family + '_bucket', bucket_labels)}"
+                        f" {n} {ts}")
+                lines.append(f"{render_series(family + '_count', labels)}"
+                             f" {row['count']} {ts}")
+                lines.append(f"{render_series(family + '_sum', labels)}"
+                             f" {_fmt_value(row['sum'])} {ts}")
+            else:
+                suffix = "_total" if kind == "counter" else ""
+                lines.append(f"{render_series(family + suffix, labels)}"
+                             f" {_fmt_value(row['value'])} {ts}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(telemetry: Telemetry, path: str) -> str:
+    ensure_parent_dir(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(openmetrics_text(telemetry))
+    return path
+
+
+_OPENMETRICS_SUFFIXES = (".om", ".prom", ".txt", ".openmetrics")
+
+
+def write_metrics(telemetry: Telemetry, path: str) -> str:
+    """Write ``path`` in the format its extension implies.
+
+    ``.om`` / ``.prom`` / ``.txt`` / ``.openmetrics`` select OpenMetrics
+    text; anything else (canonically ``.jsonl``) selects JSONL.
+    """
+    if path.endswith(_OPENMETRICS_SUFFIXES):
+        return write_openmetrics(telemetry, path)
+    return write_metrics_jsonl(telemetry, path)
+
+
+# -- validation -----------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<ts>[^ ]+))?$")
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_number(token: str, where: str) -> float:
+    if token == "+Inf":
+        return float("inf")
+    if token == "-Inf":
+        return float("-inf")
+    if token == "NaN":
+        return float("nan")
+    try:
+        return float(token)
+    except ValueError:
+        raise ValueError(f"{where}: bad number {token!r}")
+
+
+def validate_openmetrics(text: str) -> int:
+    """Self-contained OpenMetrics format check; returns the sample count.
+
+    Raises :class:`ValueError` on the violations that matter for our
+    exports: missing/misplaced ``# EOF``, samples before their family's
+    ``# TYPE``, interleaved families, counters without the ``_total``
+    suffix or decreasing in time, malformed label sets, and histogram
+    bucket sets that are non-cumulative or missing ``+Inf``.
+    """
+    if not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    lines = text.split("\n")[:-1]
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition must end with '# EOF'")
+    kinds: Dict[str, str] = {}
+    closed: set = set()
+    current: Optional[str] = None
+    counter_last: Dict[str, float] = {}
+    n_samples = 0
+    hist_buckets: Dict[Tuple[str, LabelKey, str], List[Tuple[float, float]]]
+    hist_buckets = {}
+    hist_counts: Dict[Tuple[str, LabelKey, str], float] = {}
+
+    def family_of(name: str) -> str:
+        for suffix in ("_bucket", "_count", "_sum", "_total"):
+            base = name[:-len(suffix)] if name.endswith(suffix) else None
+            if base and kinds.get(base) in ("histogram", "counter"):
+                return base
+        return name
+
+    for i, line in enumerate(lines[:-1], 1):
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ValueError(f"line {i}: malformed TYPE line")
+            _, _, name, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "info", "stateset", "unknown"):
+                raise ValueError(f"line {i}: unknown metric type {kind!r}")
+            if name in kinds:
+                raise ValueError(f"line {i}: duplicate TYPE for {name!r}")
+            if current is not None:
+                closed.add(current)
+            if name in closed:
+                raise ValueError(f"line {i}: family {name!r} interleaved")
+            kinds[name] = kind
+            current = name
+            continue
+        if line.startswith("# HELP "):
+            name = line.split(" ", 3)[2]
+            if name != current:
+                raise ValueError(f"line {i}: HELP outside family block")
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {i}: unexpected comment {line!r}")
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {i}: malformed sample {line!r}")
+        name = m.group("name")
+        family = family_of(name)
+        if family not in kinds:
+            raise ValueError(f"line {i}: sample before TYPE for {name!r}")
+        if family != current:
+            raise ValueError(f"line {i}: family {family!r} interleaved")
+        kind = kinds[family]
+        raw_labels = m.group("labels") or ""
+        pairs = _LABEL_PAIR_RE.findall(raw_labels)
+        rebuilt = ",".join(f'{k}="{v}"' for k, v in pairs)
+        if rebuilt != raw_labels:
+            raise ValueError(f"line {i}: malformed labels {raw_labels!r}")
+        labels = _label_key(dict(pairs))
+        value = _parse_number(m.group("value"), f"line {i}")
+        ts = m.group("ts")
+        ts_val = _parse_number(ts, f"line {i}") if ts is not None else None
+        if kind == "counter":
+            if not name.endswith("_total"):
+                raise ValueError(
+                    f"line {i}: counter sample {name!r} lacks _total")
+            series = render_series(name, labels)
+            if value < counter_last.get(series, 0.0):
+                raise ValueError(f"line {i}: counter {series} decreased")
+            counter_last[series] = value
+        elif kind == "histogram":
+            if not name.endswith(("_bucket", "_count", "_sum")):
+                raise ValueError(
+                    f"line {i}: histogram sample {name!r} has no "
+                    "bucket/count/sum suffix")
+            base_labels = tuple((k, v) for k, v in labels if k != "le")
+            key = (family, base_labels, ts or "")
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    raise ValueError(f"line {i}: bucket without le label")
+                hist_buckets.setdefault(key, []).append(
+                    (_parse_number(le, f"line {i}"), value))
+            elif name.endswith("_count"):
+                hist_counts[key] = value
+        n_samples += 1
+        if ts_val is not None and ts_val != ts_val:
+            raise ValueError(f"line {i}: NaN timestamp")
+    for (family, _labels, _ts), buckets in hist_buckets.items():
+        les = [le for le, _ in buckets]
+        if les != sorted(les):
+            raise ValueError(f"{family}: bucket le values out of order")
+        if not les or not math.isinf(les[-1]):
+            raise ValueError(f"{family}: missing +Inf bucket")
+        counts = [n for _, n in buckets]
+        if counts != sorted(counts):
+            raise ValueError(f"{family}: bucket counts not cumulative")
+        expected = hist_counts.get((family, _labels, _ts))
+        if expected is not None and counts[-1] != expected:
+            raise ValueError(f"{family}: +Inf bucket != _count")
+    return n_samples

@@ -67,6 +67,9 @@ class Resource:
             raise SimulationError(
                 f"release({n}) on {self.name!r} with {self.in_use} in use")
         self.in_use -= n
+        self._grant_waiters()
+
+    def _grant_waiters(self) -> None:
         while self._waiters:
             ev, want = self._waiters[0]
             if self.available < want:
@@ -87,6 +90,12 @@ class Resource:
         for i, (ev, _want) in enumerate(self._waiters):
             if ev is request:
                 del self._waiters[i]
+                # The head request may have been the only thing holding
+                # back smaller ones behind it (FIFO, no overtaking) —
+                # removing it must re-run the grant scan or a satisfiable
+                # waiter stays parked until the next release.
+                if i == 0:
+                    self._grant_waiters()
                 return
         if request.triggered and request.ok:
             self.release(request.value)
@@ -94,6 +103,11 @@ class Resource:
     def queue_length(self) -> int:
         """Number of pending acquire requests."""
         return len(self._waiters)
+
+    def probe(self) -> dict:
+        """Occupancy snapshot for telemetry samplers (dependency-free)."""
+        return {"capacity": self.capacity, "in_use": self.in_use,
+                "waiters": len(self._waiters)}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Resource {self.name!r} {self.in_use}/{self.capacity} "
@@ -178,6 +192,12 @@ class Store:
         self._closed = True
         while self._getters and not self._items:
             self._getters.popleft().fail(StoreClosed(self.name))
+
+    def probe(self) -> dict:
+        """Occupancy snapshot for telemetry samplers (dependency-free)."""
+        return {"depth": len(self._items), "capacity": self.capacity,
+                "getters": len(self._getters), "putters": len(self._putters),
+                "closed": self._closed}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Store {self.name!r} len={len(self._items)} closed={self._closed}>"
@@ -279,6 +299,11 @@ class BufferPool:
     def outstanding(self) -> int:
         """Slots granted but not yet returned."""
         return self.slots - len(self._free)
+
+    def probe(self) -> dict:
+        """Occupancy snapshot for telemetry samplers (dependency-free)."""
+        return {"slots": self.slots, "in_use": self.outstanding,
+                "waiters": len(self._waiters)}
 
 
 __all__.append("StoreClosed")

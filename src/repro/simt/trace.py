@@ -38,6 +38,11 @@ class Timeline:
 
     def __init__(self) -> None:
         self.spans: List[Span] = []
+        #: optional live-metrics hub (:class:`repro.obs.telemetry.Telemetry`).
+        #: Every instrumented layer already carries the timeline, so the
+        #: engine enables continuous sampling by setting this one slot; the
+        #: type stays ``Any`` so simt keeps zero dependencies on obs.
+        self.telemetry: Optional[Any] = None
 
     def record(self, category: str, name: str, start: float, end: float,
                **meta: Any) -> Span:

@@ -1,0 +1,93 @@
+"""Tests for the bench regression gate (python -m repro.bench.regress)."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.regress import (DEFAULT_TOLERANCES, compare_point, main,
+                                 run_regress)
+from repro.core.costs import DEFAULT_HOST_COSTS
+
+BASELINE = "BENCH_scaling.json"
+SMALL = (1, 4)      # replayed points stay cheap in CI
+
+
+# ------------------------------------------------------------- unit level
+def _point(elapsed=1.0, nbytes=1000, overlap=1.5, app="wordcount", nodes=4):
+    return {"app": app, "nodes": nodes, "elapsed_s": elapsed,
+            "network_bytes": nbytes,
+            "map_pipeline": {"overlap_factor": overlap}}
+
+
+def test_compare_point_within_tolerance():
+    rows = compare_point(_point(), _point(elapsed=1.01),
+                         DEFAULT_TOLERANCES)
+    assert all(r["ok"] for r in rows)
+
+
+def test_compare_point_flags_each_metric():
+    rows = compare_point(
+        _point(),
+        _point(elapsed=1.5, nbytes=1001, overlap=1.6),
+        DEFAULT_TOLERANCES)
+    assert [r["metric"] for r in rows if not r["ok"]] == \
+        ["elapsed_s", "network_bytes", "overlap_factor"]
+
+
+def test_compare_point_zero_baseline():
+    rows = compare_point(_point(nbytes=0), _point(nbytes=0),
+                         DEFAULT_TOLERANCES)
+    assert all(r["ok"] for r in rows)
+    rows = compare_point(_point(nbytes=0), _point(nbytes=5),
+                         DEFAULT_TOLERANCES)
+    assert not [r for r in rows if r["metric"] == "network_bytes"][0]["ok"]
+
+
+# ------------------------------------------------- against the committed baseline
+def test_regress_passes_on_committed_baseline():
+    result = run_regress(BASELINE, nodes=SMALL)
+    assert result["ok"], result["failures"]
+    assert result["points"] == 2 * len(SMALL)   # both apps
+
+
+def test_regress_detects_injected_slowdown():
+    slow = replace(DEFAULT_HOST_COSTS,
+                   sort_item=DEFAULT_HOST_COSTS.sort_item * 10)
+    result = run_regress(BASELINE, nodes=(1,), costs=slow)
+    assert not result["ok"]
+    assert result["failures"]
+
+
+def test_regress_rejects_empty_selection():
+    with pytest.raises(ValueError, match="no baseline points"):
+        run_regress(BASELINE, nodes=(3,))
+
+
+# ------------------------------------------------------------- CLI level
+def test_cli_passes_and_writes_json(tmp_path, capsys):
+    out = tmp_path / "sub" / "regress.json"
+    rc = main(["--nodes", "1", "--json", str(out)])
+    assert rc == 0
+    assert "PASS" in capsys.readouterr().out
+    payload = json.loads(out.read_text())
+    assert payload["ok"] is True
+    assert out.read_text() == json.dumps(payload, indent=2,
+                                         sort_keys=True) + "\n"
+
+
+def test_cli_fails_on_doctored_baseline(tmp_path, capsys):
+    doctored = json.loads(open(BASELINE, encoding="utf-8").read())
+    for p in doctored["sweep"]:
+        p["elapsed_s"] *= 2.0
+    path = tmp_path / "doctored.json"
+    path.write_text(json.dumps(doctored))
+    rc = main(["--baseline", str(path), "--nodes", "1"])
+    assert rc == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_cli_missing_baseline_is_an_error(tmp_path, capsys):
+    rc = main(["--baseline", str(tmp_path / "nope.json")])
+    assert rc == 2
+    assert "regress:" in capsys.readouterr().err

@@ -1,0 +1,331 @@
+"""Tests for the continuous-telemetry hub, exporters and validator."""
+
+import json
+
+import pytest
+
+from repro.apps import TeraSortApp, WordCountApp
+from repro.apps.datagen import teragen, wiki_text
+from repro.core import JobConfig, run_glasswing
+from repro.hw.presets import das4_cluster
+from repro.obs.report import aggregate_counters
+from repro.obs.telemetry import (Telemetry, ensure_parent_dir,
+                                 openmetrics_text, validate_openmetrics,
+                                 write_metrics, write_metrics_jsonl,
+                                 write_openmetrics)
+from repro.simt import Simulator
+
+
+# ------------------------------------------------------------- registry
+def test_counter_is_monotonic():
+    tele = Telemetry(Simulator(), interval=1.0)
+    c = tele.counter("toy_events", link="a->b")
+    c.inc(3)
+    c.inc()
+    assert c.value == 4
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_reregistration_returns_same_instrument():
+    tele = Telemetry(Simulator(), interval=1.0)
+    a = tele.counter("toy_events", node="n0")
+    b = tele.counter("toy_events", node="n0")
+    assert a is b
+    assert tele.counter("toy_events", node="n1") is not a
+    assert len(tele.registry) == 2
+
+
+def test_kind_conflict_rejected():
+    tele = Telemetry(Simulator(), interval=1.0)
+    tele.counter("toy_metric")
+    with pytest.raises(ValueError, match="already registered"):
+        tele.gauge("toy_metric")
+
+
+def test_invalid_names_rejected():
+    tele = Telemetry(Simulator(), interval=1.0)
+    with pytest.raises(ValueError):
+        tele.gauge("bad name")
+    with pytest.raises(ValueError):
+        tele.gauge("ok_name", **{"0bad": "v"})
+
+
+def test_gauge_probes_sum_and_capacity_sticks():
+    tele = Telemetry(Simulator(), interval=1.0)
+    g1 = tele.gauge("toy_depth", probe=lambda: 2, capacity=8.0, node="n0")
+    g2 = tele.gauge("toy_depth", probe=lambda: 3, node="n0")
+    assert g1 is g2
+    assert g1.value == 5
+    assert g1.capacity == 8.0
+
+
+def test_histogram_buckets_cumulative():
+    tele = Telemetry(Simulator(), interval=1.0)
+    h = tele.histogram("toy_wait_seconds", bounds=(0.1, 1.0))
+    for v in (0.05, 0.5, 0.5, 5.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(6.05)
+    assert h.cumulative_buckets() == [("0.1", 1), ("1.0", 3), ("+Inf", 4)]
+
+
+def test_histogram_rejects_unsorted_bounds():
+    tele = Telemetry(Simulator(), interval=1.0)
+    with pytest.raises(ValueError):
+        tele.histogram("toy_bad", bounds=(1.0, 0.5))
+
+
+# ------------------------------------------------------------- sampler
+def _toy_run(interval=1.0, steps=4):
+    sim = Simulator()
+    tele = Telemetry(sim, interval=interval)
+    level = {"v": 0}
+    tele.gauge("toy_depth", probe=lambda: level["v"])
+    counter = tele.counter("toy_bytes")
+
+    def driver(sim):
+        yield sim.timeout(0.5)      # off-tick mutations: sampler ordering
+        for _ in range(steps):      # within a tick cannot matter
+            level["v"] += 1
+            counter.inc(10)
+            yield sim.timeout(interval)
+
+    tele.start()
+    sim.process(driver(sim))
+    sim.run()
+    tele.stop()
+    return tele
+
+
+def test_sampler_ticks_in_simulated_time():
+    tele = _toy_run()
+    # mutations land at 0.5, 1.5, 2.5, 3.5; the sampler gets one trailing
+    # tick at 5.0 before the peek-guard retires it on the drained heap
+    assert tele.ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+    pts = tele.series()[("toy_depth", ())]
+    assert pts == [(1.0, 1), (2.0, 2), (3.0, 3), (4.0, 4), (5.0, 4)]
+
+
+def test_sampler_final_values_and_rates():
+    tele = _toy_run()
+    assert tele.final_values() == {"toy_bytes": 40, "toy_depth": 4}
+    rates = tele.rates()["toy_bytes"]
+    assert rates[0] == (2.0, pytest.approx(10.0))
+    assert "toy_depth" not in tele.rates()
+
+
+def test_sample_dedupes_same_instant():
+    sim = Simulator()
+    tele = Telemetry(sim, interval=1.0)
+    tele.gauge("toy_depth", probe=lambda: 1)
+    tele.sample()
+    tele.sample()
+    assert len(tele.ticks) == 1
+
+
+def test_sampler_does_not_wedge_an_empty_heap():
+    """The sampler must not keep a finished (or deadlocked) sim alive."""
+    sim = Simulator()
+    tele = Telemetry(sim, interval=0.5)
+    tele.gauge("toy_depth", probe=lambda: 0)
+    tele.start()
+    sim.run()                       # no job at all: must terminate
+    assert tele.ticks == [0.5]
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        Telemetry(Simulator(), interval=0.0)
+    with pytest.raises(ValueError):
+        JobConfig(metrics_interval=-1.0)
+
+
+# ------------------------------------------------------------- exporters
+def test_jsonl_rows_sorted_and_parseable(tmp_path):
+    tele = _toy_run()
+    path = write_metrics_jsonl(tele, str(tmp_path / "m.jsonl"))
+    lines = open(path, encoding="utf-8").read().splitlines()
+    rows = [json.loads(line) for line in lines]
+    assert len(rows) == len(tele.samples)
+    for line, row in zip(lines, rows):
+        assert line == json.dumps(row, sort_keys=True)
+        assert row["metric"] in ("toy_depth", "toy_bytes")
+
+
+def test_write_metrics_dispatches_on_extension(tmp_path):
+    tele = _toy_run()
+    om = write_metrics(tele, str(tmp_path / "m.om"))
+    jl = write_metrics(tele, str(tmp_path / "m.jsonl"))
+    assert open(om, encoding="utf-8").read().endswith("# EOF\n")
+    assert open(jl, encoding="utf-8").read().startswith("{")
+
+
+def test_openmetrics_export_validates():
+    text = openmetrics_text(_toy_run())
+    assert validate_openmetrics(text) > 0
+    assert "toy_bytes_total" in text        # counter suffix is mandatory
+
+
+def test_exports_are_deterministic(tmp_path):
+    a = write_openmetrics(_toy_run(), str(tmp_path / "a.om"))
+    b = write_openmetrics(_toy_run(), str(tmp_path / "b.om"))
+    assert open(a, "rb").read() == open(b, "rb").read()
+
+
+def test_ensure_parent_dir_creates_nested(tmp_path):
+    target = tmp_path / "deep" / "er" / "file.txt"
+    assert ensure_parent_dir(str(target)) == str(target)
+    assert target.parent.is_dir()
+    ensure_parent_dir(str(target))          # idempotent
+
+
+# ------------------------------------------------------------- validator
+def _valid_exposition():
+    return ("# TYPE toy_bytes counter\n"
+            'toy_bytes_total{node="n0"} 5 1.0\n'
+            'toy_bytes_total{node="n0"} 9 2.0\n'
+            "# EOF\n")
+
+
+def test_validator_accepts_wellformed():
+    assert validate_openmetrics(_valid_exposition()) == 2
+
+
+@pytest.mark.parametrize("mutation,message", [
+    (lambda t: t.replace("# EOF\n", ""), "EOF"),
+    (lambda t: t.replace("_total", ""), "_total"),
+    (lambda t: t.replace(" 9 ", " 3 "), "decreased"),
+    (lambda t: "toy_other 1 0.5\n" + t, "before TYPE"),
+    (lambda t: t.replace('node="n0"', 'node=n0'), "labels"),
+])
+def test_validator_rejects(mutation, message):
+    with pytest.raises(ValueError, match=message):
+        validate_openmetrics(mutation(_valid_exposition()))
+
+
+def test_validator_rejects_interleaved_families():
+    text = ("# TYPE a gauge\n"
+            "a 1 0.0\n"
+            "# TYPE b gauge\n"
+            "b 1 0.0\n"
+            "a 2 1.0\n"
+            "# EOF\n")
+    with pytest.raises(ValueError, match="interleaved"):
+        validate_openmetrics(text)
+
+
+def test_validator_rejects_noncumulative_histogram():
+    text = ("# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5 1.0\n'
+            'h_bucket{le="1.0"} 3 1.0\n'
+            'h_bucket{le="+Inf"} 6 1.0\n'
+            "h_count 6 1.0\n"
+            "h_sum 1.5 1.0\n"
+            "# EOF\n")
+    with pytest.raises(ValueError, match="cumulative"):
+        validate_openmetrics(text)
+
+
+def test_validator_rejects_missing_inf_bucket():
+    text = ("# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5 1.0\n'
+            "h_count 5 1.0\n"
+            "h_sum 0.5 1.0\n"
+            "# EOF\n")
+    with pytest.raises(ValueError, match=r"\+Inf"):
+        validate_openmetrics(text)
+
+
+# -------------------------------------------------- end-to-end invariance
+def _case(name):
+    if name == "wordcount":
+        return (WordCountApp(), {"wiki": wiki_text(150_000, seed=7)},
+                dict(chunk_size=32_768))
+    data = teragen(1500, seed=8)
+    return (TeraSortApp.from_input(data), {"tera": data},
+            dict(chunk_size=50_000, output_replication=1))
+
+
+@pytest.mark.parametrize("case", ["wordcount", "terasort"])
+def test_sampling_does_not_perturb_the_simulation(case):
+    """Differential: enabling telemetry changes no time or byte counter."""
+    app, inputs, cfg = _case(case)
+    base = run_glasswing(app, inputs, das4_cluster(nodes=2),
+                         JobConfig(**cfg))
+    samp = run_glasswing(app, inputs, das4_cluster(nodes=2),
+                         JobConfig(metrics_interval=0.0005, **cfg))
+    assert base.telemetry is None
+    assert samp.telemetry is not None and samp.telemetry.ticks
+    assert samp.job_time == base.job_time
+    assert (samp.map_time, samp.merge_delay, samp.reduce_time) == \
+           (base.map_time, base.merge_delay, base.reduce_time)
+    assert samp.stats == base.stats
+    assert aggregate_counters(samp.timeline) == \
+           aggregate_counters(base.timeline)
+    assert samp.sorted_output() == base.sorted_output()
+
+
+@pytest.mark.parametrize("case", ["wordcount", "terasort"])
+def test_sampled_exports_are_byte_identical_across_runs(case, tmp_path):
+    paths = []
+    for i in range(2):
+        app, inputs, cfg = _case(case)
+        res = run_glasswing(app, inputs, das4_cluster(nodes=2),
+                            JobConfig(metrics_interval=0.001, **cfg))
+        om = write_openmetrics(res.telemetry,
+                               str(tmp_path / f"{i}.om"))
+        jl = write_metrics_jsonl(res.telemetry,
+                                 str(tmp_path / f"{i}.jsonl"))
+        paths.append((om, jl))
+    (om1, jl1), (om2, jl2) = paths
+    assert open(om1, "rb").read() == open(om2, "rb").read()
+    assert open(jl1, "rb").read() == open(jl2, "rb").read()
+    assert validate_openmetrics(open(om1, encoding="utf-8").read()) > 0
+
+
+def test_job_telemetry_covers_every_layer():
+    app, inputs, cfg = _case("wordcount")
+    res = run_glasswing(app, inputs, das4_cluster(nodes=2),
+                        JobConfig(metrics_interval=0.001, **cfg))
+    names = {m.name for m in res.telemetry.registry.sorted_metrics()}
+    assert {"glasswing_pipeline_queue_depth",
+            "glasswing_pipeline_slots_in_use",
+            "glasswing_pipeline_slot_waiters",
+            "glasswing_pipeline_slot_wait_seconds",
+            "glasswing_pipeline_queue_wait_seconds",
+            "glasswing_merge_cache_bytes",
+            "glasswing_merge_backlog_tasks",
+            "glasswing_merge_queue_depth",
+            "glasswing_shuffle_inflight_bytes",
+            "glasswing_shuffle_bytes",
+            "glasswing_node_cpu_busy_fraction",
+            "glasswing_node_cpu_demand_threads",
+            "glasswing_node_disk_busy",
+            "glasswing_node_disk_waiters"} <= names
+    # cumulative shuffle counters agree with the network's own ledger
+    shuffled = sum(
+        m.value for m in res.telemetry.registry.sorted_metrics()
+        if m.name == "glasswing_shuffle_bytes")
+    assert shuffled == res.stats["network_bytes"]
+
+
+def test_report_folds_in_telemetry():
+    app, inputs, cfg = _case("wordcount")
+    res = run_glasswing(app, inputs, das4_cluster(nodes=2),
+                        JobConfig(metrics_interval=0.001, **cfg))
+    report = res.to_report()
+    tele = report["telemetry"]
+    assert tele["interval_s"] == 0.001
+    assert tele["ticks"] == len(res.telemetry.ticks) > 0
+    assert tele["series"] == len(res.telemetry.registry)
+    assert tele["final"]
+    sat = report["phases"]["map"]["saturation"]
+    assert sat and all(0.0 <= e["mean_level"] <= e["peak_level"] + 1e-12
+                       for e in sat)
+    assert json.dumps(report, sort_keys=True)   # JSON-serialisable
+
+    plain = run_glasswing(app, inputs, das4_cluster(nodes=2),
+                          JobConfig(**cfg)).to_report()
+    assert plain["telemetry"] is None
+    assert plain["phases"]["map"]["saturation"] == []

@@ -84,6 +84,50 @@ def test_main_writes_trace_and_report(tmp_path, capsys):
     assert r["phases"]["map"]["dominant_stage"] is not None
 
 
+def test_metrics_out_requires_interval():
+    with pytest.raises(SystemExit, match="metrics-interval"):
+        main(["wordcount", "--metrics-out", "m.om"])
+
+
+def test_main_writes_metrics_both_formats(tmp_path, capsys):
+    import json
+    from repro.obs import validate_openmetrics
+    om = tmp_path / "m.om"
+    jl = tmp_path / "m.jsonl"
+    common = ["wordcount", "--nodes", "2", "--megabytes", "0.2",
+              "--chunk-kb", "32", "--metrics-interval", "0.001"]
+    assert main(common + ["--metrics-out", str(om)]) == 0
+    assert main(common + ["--metrics-out", str(jl)]) == 0
+    assert "metrics written to" in capsys.readouterr().out
+    assert validate_openmetrics(om.read_text()) > 0
+    rows = [json.loads(line) for line in jl.read_text().splitlines()]
+    assert rows and all({"t", "metric", "type", "labels"} <= set(r)
+                        for r in rows)
+
+
+def test_export_flags_create_parent_dirs(tmp_path, capsys):
+    """Regression: --trace-out/--report-json/--metrics-out used to fail
+    when the target directory did not exist yet."""
+    trace = tmp_path / "a" / "b" / "t.json"
+    report = tmp_path / "c" / "d" / "r.json"
+    metrics = tmp_path / "e" / "f" / "m.jsonl"
+    rc = main(["wordcount", "--nodes", "2", "--megabytes", "0.2",
+               "--chunk-kb", "32", "--trace-out", str(trace),
+               "--report-json", str(report),
+               "--metrics-interval", "0.001", "--metrics-out", str(metrics)])
+    assert rc == 0
+    assert trace.is_file() and report.is_file() and metrics.is_file()
+
+
+def test_report_json_keys_sorted(tmp_path):
+    import json
+    report = tmp_path / "r.json"
+    main(["wordcount", "--nodes", "2", "--megabytes", "0.2",
+          "--chunk-kb", "32", "--report-json", str(report)])
+    text = report.read_text()
+    assert text == json.dumps(json.loads(text), indent=2, sort_keys=True)
+
+
 def test_main_explain_prints_analysis(capsys):
     rc = main(["wordcount", "--nodes", "2", "--megabytes", "0.2",
                "--chunk-kb", "32", "--explain"])

@@ -19,6 +19,7 @@ QUICK = [
     "fault_tolerance.py",
     "inverted_index.py",
     "trace_explain.py",
+    "telemetry_walkthrough.py",
 ]
 
 
