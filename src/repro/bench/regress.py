@@ -140,7 +140,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="cluster size to replay (repeatable; default: "
                              "the CI quick ladder)")
     parser.add_argument("--case", action="append", default=None,
-                        dest="cases", choices=["wordcount", "terasort"],
+                        dest="cases",
+                        choices=["wordcount", "terasort", "wordcount-skew"],
                         help="app to replay (repeatable; default: all)")
     parser.add_argument("--full", action="store_true",
                         help="replay every node count the baseline records")

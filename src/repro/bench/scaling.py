@@ -22,6 +22,7 @@ smoke-check the sweep and diff the recorded numbers.
 from __future__ import annotations
 
 import json
+import random
 import time
 from typing import Any, Dict, Optional, Sequence
 
@@ -39,7 +40,8 @@ from repro.bench.harness import ExperimentReport, Table
 
 __all__ = ["report", "sweep_point", "NODES", "QUICK_NODES",
            "PER_NODE_BYTES", "SPLITS_PER_NODE", "MIN_WALL_SPEEDUP",
-           "WC64_WALL_BUDGET_S", "DEFAULT_JSON_PATH"]
+           "WC64_WALL_BUDGET_S", "DEFAULT_JSON_PATH",
+           "SKEW_NODES", "MIN_SKEW_SPEEDUP"]
 
 #: full weak-scaling ladder (>= 6 sizes up to 1024)
 NODES = (1, 4, 16, 64, 256, 1024)
@@ -57,6 +59,19 @@ MIN_WALL_SPEEDUP = 5.0
 #: drags the batched hot path back toward per-record cost blows this.
 WC64_WALL_BUDGET_S = 15.0
 DEFAULT_JSON_PATH = "BENCH_scaling.json"
+
+#: cluster size of the scheduler-policy comparison on the skewed case
+SKEW_NODES = 64
+#: required virtual-elapsed advantage of dynamic-locality over
+#: static-affinity on the skewed wordcount at :data:`SKEW_NODES` nodes
+MIN_SKEW_SPEEDUP = 1.2
+#: skewed-case shape: Zipf exponent, files per node and the shuffle seed.
+#: Single-replica files pin static-affinity to each file's writer, so the
+#: per-node byte imbalance is exactly the (shuffled) Zipf weight spread —
+#: the workload dynamic pull rebalances and static assignment cannot.
+SKEW_ZIPF_S = 0.7
+SKEW_FILES_PER_NODE = 4
+SKEW_SEED = 1
 
 _CHUNK = PER_NODE_BYTES // SPLITS_PER_NODE
 _TERA_RECORD = 100
@@ -78,19 +93,53 @@ def _ts_case(nodes: int):
     return app, {"tera": data}, cfg
 
 
-_CASES = {"wordcount": _wc_case, "terasort": _ts_case}
+def _skew_case(nodes: int):
+    """Skewed wordcount: one-replica files with shuffled Zipf sizes.
+
+    File == split == block (the chunk size covers the largest file), and
+    ``input_replication=1`` leaves each split exactly one local holder —
+    its writer — so static affinity is pinned to the install spread while
+    the dynamic policies rebalance the byte skew at runtime.
+    """
+    total = PER_NODE_BYTES * nodes
+    n_files = SKEW_FILES_PER_NODE * nodes
+    weights = [1.0 / (i + 1) ** SKEW_ZIPF_S for i in range(n_files)]
+    scale = total / sum(weights)
+    sizes = [max(512, int(w * scale)) for w in weights]
+    sizes[0] += total - sum(sizes)      # exact total on the largest file
+    random.Random(SKEW_SEED).shuffle(sizes)
+    text = wiki_text(total, seed=42)
+    inputs, offset = {}, 0
+    for i, size in enumerate(sizes):
+        inputs[f"skew{i:04d}"] = text[offset:offset + size]
+        offset += size
+    cfg = dict(chunk_size=max(sizes), partitions_per_node=1,
+               input_replication=1)
+    return WordCountApp(), inputs, cfg
+
+
+_CASES = {"wordcount": _wc_case, "terasort": _ts_case,
+          "wordcount-skew": _skew_case}
+#: cases swept across the whole node ladder (the skew case is a 64-node
+#: scheduler comparison, not a weak-scaling ladder member)
+_LADDER = ("terasort", "wordcount")
 
 
 def sweep_point(case: str, nodes: int,
                 batch_size: Optional[int] = None,
-                costs: HostCosts = DEFAULT_HOST_COSTS) -> Dict[str, Any]:
+                costs: HostCosts = DEFAULT_HOST_COSTS,
+                scheduler: str = "static-affinity") -> Dict[str, Any]:
     """Run one (app, cluster size) cell; returns its JSON record.
 
     ``costs`` overrides the host cost model — the regression gate's
-    self-test injects a slowed model here to prove it trips.
+    self-test injects a slowed model here to prove it trips.  The
+    scheduling policy is pinned to ``static-affinity`` (not the
+    ``$REPRO_SCHEDULER`` session default), so the committed baseline and
+    the regression gate always compare the compatibility policy.
     """
     app, inputs, cfg_kwargs = _CASES[case](nodes)
-    cfg = JobConfig(batch_size=batch_size, **cfg_kwargs)
+    cfg = JobConfig(batch_size=batch_size, scheduler=scheduler,
+                    **cfg_kwargs)
     wall0 = time.perf_counter()
     res = run_glasswing(app, inputs, das4_cluster(nodes=nodes), cfg,
                         costs=costs)
@@ -98,6 +147,7 @@ def sweep_point(case: str, nodes: int,
     point: Dict[str, Any] = {
         "app": case,
         "nodes": nodes,
+        "scheduler": scheduler,
         "batch_size": res.stats["batch_size"],
         "batch_autotuned": res.stats["batch_autotuned"],
         "input_bytes": sum(len(v) for v in inputs.values()),
@@ -132,9 +182,39 @@ def report(nodes: Sequence[int] = NODES,
                     "path keeps the sweep tractable")
 
     points = []
-    for case in sorted(_CASES):
+    for case in _LADDER:
         for n in nodes:
             points.append(sweep_point(case, n))
+
+    # Scheduler-policy comparison on the skewed WordCount: Zipf split
+    # sizes with one replica pin static affinity to the install-time
+    # spread, while the dynamic policies pull work at runtime.  The
+    # static point joins the sweep so the regression gate guards it.
+    sched_comparison = None
+    if SKEW_NODES in nodes:
+        by_policy = {
+            policy: sweep_point("wordcount-skew", SKEW_NODES,
+                                scheduler=policy)
+            for policy in ("static-affinity", "dynamic-locality",
+                           "oplevel")}
+        points.append(by_policy["static-affinity"])
+        static_e = by_policy["static-affinity"]["elapsed_s"]
+        dyn_e = by_policy["dynamic-locality"]["elapsed_s"]
+        speedup = static_e / max(dyn_e, 1e-9)
+        sched_comparison = {
+            "nodes": SKEW_NODES,
+            "app": "wordcount-skew",
+            "elapsed_s": {pol: p["elapsed_s"]
+                          for pol, p in by_policy.items()},
+            "dynamic_speedup": speedup,
+        }
+        rep.check(
+            f"dynamic-locality >= {MIN_SKEW_SPEEDUP:.1f}x faster than "
+            f"static-affinity on skewed wordcount @ {SKEW_NODES} nodes",
+            speedup >= MIN_SKEW_SPEEDUP,
+            "; ".join(f"{pol} {p['elapsed_s']:.4f}s"
+                      for pol, p in sorted(by_policy.items()))
+            + f" ({speedup:.2f}x)")
 
     table = Table("weak scaling (%d KiB/node)" % (PER_NODE_BYTES // KiB),
                   ["app", "nodes", "elapsed_s", "map_s", "reduce_s",
@@ -163,7 +243,7 @@ def report(nodes: Sequence[int] = NODES,
     # its upper bound sum(stage occupied) / dominant-stage occupied.
     largest = max(nodes)
     tol = 0.15
-    for case in sorted(_CASES):
+    for case in _LADDER:
         p = points_for(points, case)[-1]
         pipe = p["map_pipeline"]
         share = pipe["dominant_share"]
@@ -223,6 +303,7 @@ def report(nodes: Sequence[int] = NODES,
             "wall_budget_s": {"wordcount_64_batched": WC64_WALL_BUDGET_S},
             "sweep": points,
             "batch_comparison": comparison,
+            "sched_comparison": sched_comparison,
             "checks": [{"name": c.name, "passed": c.passed,
                         "detail": c.detail} for c in rep.checks],
         }

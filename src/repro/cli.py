@@ -31,6 +31,7 @@ from repro.apps import datagen
 from repro.core import JobConfig, run_glasswing
 from repro.core.api import MapReduceApp
 from repro.core.faults import FaultPlan, NodeCrash
+from repro.core.sched import SCHEDULER_NAMES
 from repro.hw.presets import GBE, QDR_IB, das4_cluster
 from repro.hw.specs import DeviceKind, MiB
 from repro.storage.records import NO_COMPRESSION
@@ -47,6 +48,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("app", choices=APPS)
     parser.add_argument("--nodes", type=int, default=4)
     parser.add_argument("--device", choices=["cpu", "gpu"], default="cpu")
+    parser.add_argument("--devices", metavar="POOL", default=None,
+                        help="heterogeneous per-node device pool, e.g. "
+                             "'cpu+gpu': every listed device runs its own "
+                             "scheduler-fed pipeline concurrently "
+                             "(overrides --device)")
+    parser.add_argument("--scheduler", choices=list(SCHEDULER_NAMES),
+                        default=None,
+                        help="placement policy (default: static-affinity, "
+                             "or $REPRO_SCHEDULER)")
     parser.add_argument("--storage", choices=["dfs", "local"], default="dfs")
     parser.add_argument("--network", choices=["ib", "gbe"], default="ib")
     parser.add_argument("--megabytes", type=float, default=8.0,
@@ -151,16 +161,35 @@ def make_faults(args, n_splits_hint: int = 64) -> Optional[FaultPlan]:
                      stragglers={s: float(f) for s, f in stragglers.items()})
 
 
+def _parse_device_pool(spec: str) -> Tuple[DeviceKind, ...]:
+    """``"cpu+gpu"`` -> ``(DeviceKind.CPU, DeviceKind.GPU)``."""
+    kinds = []
+    for part in spec.split("+"):
+        try:
+            kinds.append(DeviceKind(part.strip().lower()))
+        except ValueError:
+            raise SystemExit(
+                f"--devices expects kinds joined by '+', e.g. cpu+gpu; "
+                f"got {spec!r}")
+    return tuple(kinds)
+
+
 def make_job(args) -> Tuple[MapReduceApp, Dict[str, bytes], JobConfig]:
     """Build (app, inputs, config) from parsed CLI arguments."""
     nbytes = int(args.megabytes * MiB)
+    extra = {}
+    if args.scheduler is not None:
+        extra["scheduler"] = args.scheduler
+    if args.devices is not None:
+        extra["devices"] = _parse_device_pool(args.devices)
     config = JobConfig(
         chunk_size=args.chunk_kb * 1024,
         device=DeviceKind.GPU if args.device == "gpu" else DeviceKind.CPU,
         storage=args.storage,
         buffering=args.buffering,
         batch_size=args.batch_size,
-        metrics_interval=args.metrics_interval)
+        metrics_interval=args.metrics_interval,
+        **extra)
     if args.app == "wordcount":
         return (WordCountApp(),
                 {"corpus": datagen.wiki_text(nbytes, seed=args.seed)},
@@ -204,7 +233,10 @@ def main(argv=None) -> int:
         faults = make_faults(args, n_splits_hint=n_splits)
     except ValueError as exc:    # e.g. straggler factor < 1
         raise SystemExit(f"invalid fault schedule: {exc}")
-    cluster = das4_cluster(nodes=args.nodes, gpu=args.device == "gpu",
+    needs_gpu = (args.device == "gpu"
+                 or (config.devices is not None
+                     and DeviceKind.GPU in config.devices))
+    cluster = das4_cluster(nodes=args.nodes, gpu=needs_gpu,
                            network=QDR_IB if args.network == "ib" else GBE)
     try:
         result = run_glasswing(app, inputs, cluster, config, faults=faults)

@@ -21,13 +21,20 @@ the evaluation are all here:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.hw.specs import DeviceKind, MiB
 from repro.storage.records import CompressionModel
 
 __all__ = ["JobConfig"]
+
+
+def _default_scheduler() -> str:
+    """Session-wide policy override hook (used by the CI scheduler
+    matrix to run the whole suite under each policy)."""
+    return os.environ.get("REPRO_SCHEDULER", "static-affinity")
 
 
 @dataclass(frozen=True)
@@ -41,6 +48,15 @@ class JobConfig:
     #: the compute-heavy map runs on the GPU
     map_device: Optional[DeviceKind] = None
     reduce_device: Optional[DeviceKind] = None
+    #: heterogeneous per-node device *pool*: when set, every kind in the
+    #: tuple runs its own concurrently scheduled pipeline per phase
+    #: (e.g. ``(CPU, GPU)``), fed operation-by-operation by the
+    #: scheduler.  ``None`` keeps the classic one-device-per-phase shape.
+    devices: Optional[Tuple[DeviceKind, ...]] = None
+    #: placement policy: "static-affinity" (pre-computed, the original
+    #: behaviour), "dynamic-locality" (runtime pull, local-first) or
+    #: "oplevel" (global LPT queue).  Defaults from $REPRO_SCHEDULER.
+    scheduler: str = field(default_factory=_default_scheduler)
     buffering: int = 2                  # 1 = single, 2 = double, 3 = triple
     chunk_size: int = 16 * MiB          # input split processed per kernel
     kernel_threads: Optional[int] = None  # CPU-device thread override
@@ -116,6 +132,16 @@ class JobConfig:
             raise ValueError("speculation_factor must be > 1")
         if self.metrics_interval is not None and self.metrics_interval <= 0:
             raise ValueError("metrics_interval must be > 0 (or None)")
+        from repro.core.sched import SCHEDULER_NAMES
+        if self.scheduler not in SCHEDULER_NAMES:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; expected one of "
+                f"{', '.join(SCHEDULER_NAMES)}")
+        if self.devices is not None:
+            if not self.devices:
+                raise ValueError("devices pool must not be empty")
+            if len(set(self.devices)) != len(self.devices):
+                raise ValueError("devices pool has duplicate kinds")
         if self.use_combiner and self.collector == "buffer":
             # §III-F: the combiner is supported only for the hash table
             # collection mechanism.
@@ -132,6 +158,18 @@ class JobConfig:
         """Device the reduce kernels run on (override or job default)."""
         return (self.reduce_device if self.reduce_device is not None
                 else self.device)
+
+    @property
+    def map_device_pool(self) -> Tuple[DeviceKind, ...]:
+        """Devices the map phase runs on (the pool, or the single
+        effective device wrapped in a 1-tuple)."""
+        return self.devices if self.devices else (self.effective_map_device,)
+
+    @property
+    def reduce_device_pool(self) -> Tuple[DeviceKind, ...]:
+        """Devices the reduce phase runs on."""
+        return self.devices if self.devices \
+            else (self.effective_reduce_device,)
 
     @property
     def effective_merger_threads(self) -> int:

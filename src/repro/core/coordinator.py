@@ -23,8 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.storage.dfs import BlockLocation
-
 from repro.core.data import SortedRun
 from repro.core.io import StorageBackend
 
@@ -73,36 +71,13 @@ def assign_splits(splits: Sequence[Split], backend: StorageBackend,
                   ) -> Dict[int, List[Split]]:
     """Map each split to a node, preferring replica holders (affinity).
 
-    Greedy least-loaded-replica assignment; falls back to round-robin when
-    the backend has no locality information.  ``allowed`` restricts the
-    eligible nodes (recovery schedules only onto survivors); affinity is
-    kept for replicas on eligible nodes.
+    The affinity logic itself lives in :mod:`repro.core.sched.affinity`
+    (it is shared by every scheduling policy); this wrapper survives as
+    the coordinator-level entry point for callers that want a one-shot
+    static assignment (e.g. the Hadoop baseline).
     """
-    eligible = list(range(n_nodes)) if allowed is None else sorted(allowed)
-    if not eligible:
-        raise ValueError("no eligible nodes to assign splits to")
-    eligible_set = set(eligible)
-    assignment: Dict[int, List[Split]] = {n: [] for n in eligible}
-    locations: Dict[str, List[BlockLocation]] = {}
-    for split in splits:
-        if split.path not in locations:
-            locations[split.path] = backend.locations(split.path) or []
-        candidates = [n for n in _replica_holders(locations[split.path],
-                                                  split.offset)
-                      if n in eligible_set]
-        if candidates:
-            node = min(candidates, key=lambda nid: (len(assignment[nid]), nid))
-        else:
-            node = eligible[split.index % len(eligible)]
-        assignment[node].append(split)
-    return assignment
-
-
-def _replica_holders(locs: List[BlockLocation], offset: int) -> List[int]:
-    for loc in locs:
-        if loc.offset <= offset < loc.offset + max(loc.length, 1):
-            return list(loc.replicas)
-    return []
+    from repro.core.sched.affinity import affinity_assign
+    return affinity_assign(splits, backend, n_nodes, allowed=allowed)
 
 
 class ShuffleRegistry:

@@ -32,7 +32,7 @@ from repro.simt.trace import Timeline
 
 from repro.core.api import MapReduceApp
 from repro.core.config import JobConfig
-from repro.core.coordinator import ShuffleRegistry, assign_splits, make_splits
+from repro.core.coordinator import ShuffleRegistry, make_splits
 from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts
 from repro.core.faults import ClusterHealth, FaultPlan, NodeCrash
 from repro.core.intermediate import IntermediateManager
@@ -41,6 +41,7 @@ from repro.core.map_phase import MapPhase
 from repro.core.metrics import JobMetrics
 from repro.core.recovery import SpeculationController, run_recovery
 from repro.core.reduce_phase import ReducePhase
+from repro.core.sched import make_scheduler
 from repro.storage.records import FixedRecordFormat
 
 __all__ = ["run_glasswing", "GlasswingResult"]
@@ -147,23 +148,27 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
                    if isinstance(app.record_format, FixedRecordFormat) else None)
     splits = make_splits(backend, sorted(inputs), config.chunk_size,
                          record_size=record_size)
-    assignment = assign_splits(splits, backend, n)
+    scheduler = make_scheduler(config.scheduler, sim=sim, timeline=timeline)
+    scheduler.plan(splits, backend, n)
 
-    map_devices = [_make_device(sim, cluster[i],
-                                config.effective_map_device)
-                   for i in range(n)]
-    if config.effective_reduce_device == config.effective_map_device:
-        reduce_devices = map_devices
-    else:
-        reduce_devices = [_make_device(sim, cluster[i],
-                                       config.effective_reduce_device)
-                          for i in range(n)]
+    # Per-node device pools: one Device object per distinct kind (a kind
+    # appearing in both phases shares its device, as before), one
+    # concurrently scheduled map pipeline per pool member.
+    map_kinds = config.map_device_pool
+    reduce_kinds = config.reduce_device_pool
+    all_kinds = list(dict.fromkeys(map_kinds + reduce_kinds))
+    device_objs: List[Dict[DeviceKind, Device]] = [
+        {kind: _make_device(sim, cluster[i], kind) for kind in all_kinds}
+        for i in range(n)
+    ]
+    map_devices = [device_objs[i][map_kinds[0]] for i in range(n)]
 
     speculation = None
     if config.speculative_execution:
         speculation = SpeculationController(
             sim, app, config, backend, health, map_devices,
-            [cluster[i] for i in range(n)], costs=costs)
+            [cluster[i] for i in range(n)], costs=costs,
+            scheduler=scheduler)
 
     managers = {
         i: IntermediateManager(
@@ -172,13 +177,17 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
             costs=costs)
         for i in range(n)
     }
-    map_phases = [
-        MapPhase(sim, cluster[i], map_devices[i], app, config, backend,
-                 timeline, splits=assignment[i], managers=managers,
-                 network=cluster.network, costs=costs, faults=faults,
-                 health=health, registry=registry, speculation=speculation)
+    pooled_map = len(map_kinds) > 1
+    map_phases_by_node: List[List[MapPhase]] = [
+        [MapPhase(sim, cluster[i], device_objs[i][kind], app, config,
+                  backend, timeline, scheduler=scheduler, managers=managers,
+                  network=cluster.network, costs=costs, faults=faults,
+                  health=health, registry=registry, speculation=speculation,
+                  device_key=kind.value if pooled_map else None)
+         for kind in map_kinds]
         for i in range(n)
     ]
+    map_phases = [mp for phases in map_phases_by_node for mp in phases]
 
     # Node-crash monitors: armed for the map/shuffle window only (a crash
     # after the shuffle completed is out of this model's scope and is
@@ -193,7 +202,8 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
         health.mark_dead(crash.node, sim.now)
         timeline.record("node.crash", cluster[crash.node].name,
                         sim.now, sim.now, node=crash.node)
-        map_phases[crash.node].kill()
+        for mp in map_phases_by_node[crash.node]:
+            mp.kill()
         managers[crash.node].kill()
 
     for crash in crashes:
@@ -219,7 +229,7 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
             recovery_stats = yield from run_recovery(
                 sim, timeline, cluster, app, config, backend, managers,
                 map_devices, cluster.network, registry, health, splits,
-                costs=costs)
+                scheduler, costs=costs)
             timeline.record("phase.recovery", "job", t_r, sim.now)
         timeline.record("phase.map", "job", t0, sim.now)
         for mp in map_phases:
@@ -231,12 +241,31 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
                           for i in survivors])
         timeline.record("phase.merge", "job", t1, sim.now)
         t2 = sim.now
-        reduce_phases = [
-            ReducePhase(sim, cluster[i], reduce_devices[i], app, config,
-                        backend, timeline, managers[i], costs=costs,
-                        faults=faults)
-            for i in survivors
-        ]
+        reduce_phases = []
+        for i in survivors:
+            if len(reduce_kinds) == 1:
+                scheduler.place_reduce(i, managers[i].owned)
+                reduce_phases.append(ReducePhase(
+                    sim, cluster[i], device_objs[i][reduce_kinds[0]], app,
+                    config, backend, timeline, managers[i], costs=costs,
+                    faults=faults))
+                continue
+            # Device pool: split the node's partitions across its devices
+            # proportionally to their speed (each partition's merged data
+            # is node-local either way, so this is a pure compute split).
+            shares = _partition_pids(
+                list(managers[i].owned),
+                [(kind, device_objs[i][kind].spec.gflops)
+                 for kind in reduce_kinds])
+            for kind in reduce_kinds:
+                pids = shares[kind]
+                if not pids:
+                    continue
+                scheduler.place_reduce(i, pids, device=kind.value)
+                reduce_phases.append(ReducePhase(
+                    sim, cluster[i], device_objs[i][kind], app, config,
+                    backend, timeline, managers[i], costs=costs,
+                    faults=faults, pids=pids))
         yield sim.all_of([rp.run() for rp in reduce_phases])
         timeline.record("phase.reduce", "job", t2, sim.now)
         for rp in reduce_phases:
@@ -280,6 +309,12 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
         "task_failures": faults.total_failures if faults else 0,
         "speculative_launches": speculation.launches if speculation else 0,
         "speculative_wins": speculation.wins if speculation else 0,
+        "scheduler": scheduler.name,
+        "sched_placements": scheduler.placements,
+        "sched_locality_hits": scheduler.locality_hits,
+        "sched_locality_misses": scheduler.locality_misses,
+        "sched_locality_hit_rate": scheduler.locality_hit_rate,
+        "sched_speculative_placements": scheduler.speculative_placements,
         # Buffer-slot balance: every acquired pipeline slot must be
         # returned, even by pipelines a node crash killed mid-flight
         # (phantom occupancy would poison the utilization reports).
@@ -301,3 +336,20 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
 
 def _make_device(sim: Simulator, node, kind: DeviceKind) -> Device:
     return Device(sim, node.spec.device(kind), node)
+
+
+def _partition_pids(pids: List[int], devices: List[Tuple[DeviceKind, float]]
+                    ) -> Dict[DeviceKind, List[int]]:
+    """Split a node's partitions across its device pool proportionally to
+    device speed: each pid goes to the device whose *per-speed* load
+    after taking it is smallest (ties broken by pool order), so a 20x
+    faster device ends up with ~20x the partitions."""
+    shares: Dict[DeviceKind, List[int]] = {kind: [] for kind, _ in devices}
+    for pid in sorted(pids):
+        kind = min(
+            ((kind, speed, order)
+             for order, (kind, speed) in enumerate(devices)),
+            key=lambda t: ((len(shares[t[0]]) + 1) / max(t[1], 1e-9), t[2])
+        )[0]
+        shares[kind].append(pid)
+    return shares

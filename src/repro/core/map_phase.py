@@ -36,6 +36,7 @@ so re-execution never duplicates data.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field, replace
 from typing import Dict, Generator, List, Optional, Tuple
 
@@ -57,6 +58,7 @@ from repro.core.faults import ClusterHealth, FaultPlan, TaskFailedError
 from repro.core.intermediate import IntermediateManager
 from repro.core.io import StorageBackend
 from repro.core.pipeline import Pipeline
+from repro.core.sched import Scheduler
 from repro.core.splitread import read_split_records
 
 __all__ = ["MapPhase"]
@@ -85,7 +87,7 @@ class MapPhase:
     def __init__(self, sim: Simulator, node: Node, device: Device,
                  app: MapReduceApp, config: JobConfig,
                  backend: StorageBackend, timeline: Timeline,
-                 splits: List[Split],
+                 scheduler: Scheduler,
                  managers: Dict[int, IntermediateManager],
                  network: Network,
                  costs: HostCosts = DEFAULT_HOST_COSTS,
@@ -93,7 +95,8 @@ class MapPhase:
                  health: ClusterHealth | None = None,
                  registry: ShuffleRegistry | None = None,
                  speculation: Optional["SpeculationController"] = None,
-                 recovery: bool = False):
+                 recovery: bool = False,
+                 device_key: Optional[str] = None):
         self.sim = sim
         self.node = node
         self.device = device
@@ -101,6 +104,7 @@ class MapPhase:
         self.config = config
         self.backend = backend
         self.timeline = timeline
+        self.scheduler = scheduler
         self.managers = managers          # node_id -> manager (all nodes)
         self.network = network
         self.n_nodes = len(managers)
@@ -110,7 +114,12 @@ class MapPhase:
         self.registry = registry
         self.speculation = speculation
         self.recovery = recovery
-        self._splits_by_index = {s.index: s for s in splits}
+        # ``device_key`` marks this pipeline as one member of a multi-
+        # device pool: work is then acquired through the scheduler's
+        # waiting-capable pool gate instead of the plain per-node pull.
+        self.device_key = device_key
+        self.phase_kind = "recovery" if recovery else "map"
+        self._splits_by_index: Dict[int, Split] = {}
         self.push_procs: List = []        # in-flight remote pushes
         self.records_mapped = 0
         self.pairs_emitted = 0
@@ -135,12 +144,35 @@ class MapPhase:
                         device, config.chunk_size,
                         name=f"{node.name}.map.{group}{i}"))
         name = "map.recovery" if recovery else "map"
+        if device_key is None:
+            # Classic shape: one pipeline per node, pulling splits from
+            # the scheduler as the input stage becomes ready for them.
+            items = self._feed()
+            read_fn = self._read
+        else:
+            # Device pool: the read body itself negotiates with the
+            # scheduler's pool gate (it may wait, or end the stream).
+            scheduler.register_device(node.node_id, device_key,
+                                      device.spec.gflops)
+            items = itertools.count()
+            read_fn = self._read_pooled
         self.pipeline = Pipeline(
             sim, timeline, name=name, instance=node.name,
-            buffering=config.buffering, items=splits,
-            read_fn=self._read, kernel_fn=self._kernel,
+            buffering=config.buffering, items=items,
+            read_fn=read_fn, kernel_fn=self._kernel,
             output_fn=self._partition,
             stage_fn=stage_fn, retrieve_fn=retrieve_fn)
+
+    def _feed(self):
+        """Lazy work acquisition: ask the scheduler for the next split
+        only when the input stage is ready to read it."""
+        while True:
+            split = self.scheduler.next_for(self.node.node_id,
+                                            self.phase_kind)
+            if split is None:
+                return
+            self._splits_by_index[split.index] = split
+            yield split
 
     def release_buffers(self) -> None:
         """Free the phase's device buffers (the engine calls this when
@@ -162,6 +194,17 @@ class MapPhase:
                 proc.interrupt("node crash")
 
     # -- stage bodies ------------------------------------------------------
+    def _read_pooled(self, _seq: int) -> Generator:
+        """Input body for one device of a multi-device pool: acquire the
+        next operation through the scheduler's gate (which may wait for
+        in-flight work to drain, or retire this device)."""
+        split = yield from self.scheduler.pool_acquire(
+            self.node.node_id, self.device_key, self.phase_kind)
+        if split is None:
+            return Pipeline.END
+        self._splits_by_index[split.index] = split
+        return (yield from self._read(split))
+
     def _read(self, split: Split) -> Generator:
         records, nbytes = yield from read_split_records(
             self.backend, self.node.node_id, split, self.app.record_format)
@@ -253,7 +296,8 @@ class MapPhase:
                 if idx == 0:
                     return    # finished within the straggler threshold
                 continue
-            helper = spec.pick_helper(self.node.node_id)
+            helper = spec.pick_helper(self.node.node_id,
+                                      split_index=chunk.index)
             if helper is None:
                 break
             split = self._splits_by_index[chunk.index]
@@ -427,6 +471,11 @@ class MapPhase:
             self.push_procs.append(self.sim.process(
                 self._push(split_index, remote),
                 name=f"{self.node.name}.push.s{split_index}"))
+        if self.device_key is not None:
+            # Pool accounting: this operation is off the device's plate.
+            self.scheduler.note_done(self.node.node_id, self.device_key,
+                                     float(self._splits_by_index[
+                                         split_index].length))
         return out
 
     def _push(self, split_index: int,

@@ -51,12 +51,20 @@ class Pipeline:
     items:
         Work-item descriptors consumed by ``read_fn`` (input splits for
         the map pipeline, merged-run cursors for the reduce pipeline).
+        May be a lazy iterable: scheduler-fed pipelines pull their next
+        item only when the input stage is ready for it.  A ``read_fn``
+        may also return :data:`Pipeline.END` to terminate the input
+        stream early (e.g. a device pool with no work left for this
+        device).
     read_fn, kernel_fn, output_fn:
         Mandatory stage bodies (process-style generators).
     stage_fn, retrieve_fn:
         Optional host<->device transfer stages; ``None`` disables them
         (unified memory).
     """
+
+    #: Sentinel a ``read_fn`` may return to end the input stream early.
+    END = object()
 
     def __init__(self, sim: Simulator, timeline: Timeline, name: str,
                  instance: str, buffering: int,
@@ -72,7 +80,7 @@ class Pipeline:
         self.timeline = timeline
         self.name = name
         self.instance = instance
-        self.items = list(items)
+        self.items = items
         self.read_fn = read_fn
         self.stage_fn = stage_fn
         self.kernel_fn = kernel_fn
@@ -233,7 +241,7 @@ class Pipeline:
         return meta
 
     def _input_stage(self, downstream: Store) -> Generator:
-        for i, item in enumerate(self.items):
+        for item in self.items:
             t_req = self.sim.now
             acq = self.in_pool.acquire()
             try:
@@ -249,6 +257,11 @@ class Pipeline:
             except Interrupt:
                 self.in_pool.release(slot)
                 raise
+            if payload is Pipeline.END:
+                # The reader declared the stream over (scheduler-fed
+                # device pools): hand the slot back and stop pulling.
+                self.in_pool.release(slot)
+                break
             # Batched fan-out: a read_fn may return a list of payloads
             # (one modeled item sliced into several simulation batches).
             # The whole item shares ONE input slot — the §III-D interlock

@@ -22,7 +22,7 @@ Two cooperating pieces live here:
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Sequence, Tuple
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.net.transport import Network
 from repro.simt.core import Event, Simulator
@@ -30,12 +30,13 @@ from repro.simt.trace import Timeline
 
 from repro.core.api import MapReduceApp
 from repro.core.config import JobConfig
-from repro.core.coordinator import ShuffleRegistry, Split, assign_splits
+from repro.core.coordinator import ShuffleRegistry, Split
 from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts
 from repro.core.data import SortedRun
 from repro.core.faults import ClusterHealth
 from repro.core.intermediate import IntermediateManager
 from repro.core.io import StorageBackend
+from repro.core.sched import Scheduler
 from repro.core.splitread import read_split_records
 
 __all__ = ["SpeculationController", "run_recovery"]
@@ -56,7 +57,8 @@ class SpeculationController:
     def __init__(self, sim: Simulator, app: MapReduceApp, config: JobConfig,
                  backend: StorageBackend, health: ClusterHealth,
                  devices: Sequence, nodes: Sequence,
-                 costs: HostCosts = DEFAULT_HOST_COSTS):
+                 costs: HostCosts = DEFAULT_HOST_COSTS,
+                 scheduler: Optional[Scheduler] = None):
         self.sim = sim
         self.app = app
         self.config = config
@@ -65,6 +67,7 @@ class SpeculationController:
         self.devices = list(devices)
         self.nodes = list(nodes)
         self.costs = costs
+        self.scheduler = scheduler
         self.durations: List[float] = []
         self.active: Dict[int, int] = {n: 0 for n in range(len(self.nodes))}
         self.launches = 0
@@ -97,8 +100,15 @@ class SpeculationController:
         return self.config.speculation_factor * mean
 
     # -- speculative copies ------------------------------------------------
-    def pick_helper(self, exclude: int) -> int | None:
-        """Least-loaded surviving node other than ``exclude``."""
+    def pick_helper(self, exclude: int,
+                    split_index: Optional[int] = None) -> int | None:
+        """Node to run a speculative copy on — delegated to the job's
+        scheduling policy (the base policy picks the least-loaded
+        surviving node other than ``exclude``)."""
+        if self.scheduler is not None:
+            return self.scheduler.pick_helper(
+                exclude, self.health.alive_nodes, self.active,
+                split_index=split_index)
         candidates = [n for n in self.health.alive_nodes if n != exclude]
         if not candidates:
             return None
@@ -140,7 +150,7 @@ def run_recovery(sim: Simulator, timeline: Timeline, cluster,
                  managers: Dict[int, IntermediateManager],
                  devices: Sequence, network: Network,
                  registry: ShuffleRegistry, health: ClusterHealth,
-                 splits: Sequence[Split],
+                 splits: Sequence[Split], scheduler: Scheduler,
                  costs: HostCosts = DEFAULT_HOST_COSTS) -> Generator:
     """The post-crash recovery wave (process body; yields until done).
 
@@ -155,10 +165,12 @@ def run_recovery(sim: Simulator, timeline: Timeline, cluster,
     survivors = health.alive_nodes
     if not survivors:
         raise RuntimeError("every node died; the job cannot complete")
-    # 1. Re-home the dead nodes' partitions (deterministic spread).
+    # 1. Re-home the dead nodes' partitions: the scheduling policy picks
+    #    each partition's new owner (the base policy keeps the original
+    #    deterministic spread; load-aware policies balance ownership).
     for dead in health.dead_nodes:
         for pid in registry.owned_by(dead):
-            new_owner = survivors[pid % len(survivors)]
+            new_owner = scheduler.rehome(pid, survivors, registry)
             registry.reassign(pid, new_owner)
             managers[new_owner].adopt_partition(pid)
     # 2. Plan: cheap durable re-pushes vs full split re-execution.
@@ -174,20 +186,17 @@ def run_recovery(sim: Simulator, timeline: Timeline, cluster,
                 registry, config, costs, owner, entries),
         name=f"recover.n{source}->n{owner}")
         for (source, owner), entries in sorted(repushes.items())]
-    # 4. Re-execution: a small recovery map phase per survivor, affinity
-    #    assignment restricted to the survivors.  The ledger keeps already
+    # 4. Re-execution: the lost splits go back through the scheduler
+    #    (restricted to survivors) and a recovery map phase pulls them on
+    #    every node the policy nominates.  The ledger keeps already
     #    delivered buckets from being pushed twice.
     phases = []
     if reexec:
-        assignment = assign_splits(reexec, backend, len(cluster),
-                                   allowed=survivors)
-        for node_id in sorted(assignment):
-            node_splits = assignment[node_id]
-            if not node_splits:
-                continue
+        scheduler.plan_recovery(reexec, backend, survivors)
+        for node_id in scheduler.recovery_nodes():
             phases.append(MapPhase(
                 sim, cluster[node_id], devices[node_id], app, config,
-                backend, timeline, splits=node_splits, managers=managers,
+                backend, timeline, scheduler=scheduler, managers=managers,
                 network=network, costs=costs, faults=None, health=health,
                 registry=registry, recovery=True))
     waits = procs + [ph.run() for ph in phases]

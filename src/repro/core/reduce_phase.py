@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Generator, List, Tuple
+from typing import Any, Generator, List, Optional, Sequence, Tuple
 
 from repro.hw.node import Node
 from repro.ocl.kernel import KernelCost
@@ -86,7 +86,8 @@ class ReducePhase:
                  backend: StorageBackend, timeline: Timeline,
                  manager: IntermediateManager,
                  costs: HostCosts = DEFAULT_HOST_COSTS,
-                 faults: FaultPlan | None = None):
+                 faults: FaultPlan | None = None,
+                 pids: Optional[Sequence[int]] = None):
         self.sim = sim
         self.node = node
         self.device = device
@@ -97,6 +98,10 @@ class ReducePhase:
         self.manager = manager
         self.costs = costs
         self.faults = faults
+        # ``pids`` restricts this pipeline to a subset of the manager's
+        # owned partitions (device pools split a node's partitions across
+        # several concurrent reduce pipelines); ``None`` keeps them all.
+        self.pids = list(pids) if pids is not None else None
         self.output_pairs: dict[int, list] = {}
         self.keys_reduced = 0
         self._pid_by_index: dict[int, int] = {}
@@ -157,7 +162,8 @@ class ReducePhase:
         items: List[_ReduceItem] = []
         index = 0
         wid = 0
-        for pid in self.manager.owned:
+        owned = self.pids if self.pids is not None else self.manager.owned
+        for pid in owned:
             runs, disk_bytes, disk_raw = self.manager.read_partition(pid)
             if not runs:
                 continue

@@ -1,0 +1,54 @@
+"""Pluggable operation scheduling (split placement + device pools).
+
+Three policies ship:
+
+``static-affinity``
+    The original coordinator behaviour extracted verbatim: one-shot
+    greedy least-loaded-replica assignment before the job starts.
+``dynamic-locality``
+    Runtime pull from a global pool, local replicas first — skewed
+    splits rebalance across the cluster instead of idling it.
+``oplevel``
+    OS4M-style global operation queue with longest-processing-time
+    scoring for global load balance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simt.core import Simulator
+from repro.simt.trace import Timeline
+
+from repro.core.sched.affinity import (affinity_assign, holders_by_split,
+                                       replica_holders)
+from repro.core.sched.base import Scheduler
+from repro.core.sched.dynamic import DynamicLocalityScheduler
+from repro.core.sched.oplevel import OpLevelScheduler
+from repro.core.sched.static import StaticAffinityScheduler
+
+__all__ = [
+    "SCHEDULER_NAMES", "Scheduler", "make_scheduler",
+    "StaticAffinityScheduler", "DynamicLocalityScheduler",
+    "OpLevelScheduler",
+    "affinity_assign", "holders_by_split", "replica_holders",
+]
+
+_POLICIES = {
+    cls.name: cls
+    for cls in (StaticAffinityScheduler, DynamicLocalityScheduler,
+                OpLevelScheduler)
+}
+
+SCHEDULER_NAMES = tuple(_POLICIES)
+
+
+def make_scheduler(name: str, sim: Optional[Simulator] = None,
+                   timeline: Optional[Timeline] = None) -> Scheduler:
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; expected one of "
+            f"{', '.join(SCHEDULER_NAMES)}") from None
+    return cls(sim=sim, timeline=timeline)

@@ -1,0 +1,62 @@
+"""Operation-level global-queue policy (OS4M-style).
+
+Like ``dynamic-locality`` this pulls from one global pool at runtime,
+but instead of FIFO order it scores candidates for global load balance:
+each node is handed its *largest* remaining local split (longest
+processing time first), falling back to the largest split anywhere.
+LPT ordering keeps the biggest operations from landing at the tail of
+the schedule, which is where static assignment loses on skew.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
+
+from repro.core.sched.dynamic import DynamicLocalityScheduler, _Pool
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.coordinator import Split
+
+__all__ = ["OpLevelScheduler"]
+
+
+def _largest(candidates) -> Optional["Split"]:
+    best = None
+    for split in candidates:
+        if best is None or (split.length, -split.index) > \
+                (best.length, -best.index):
+            best = split
+    return best
+
+
+class OpLevelScheduler(DynamicLocalityScheduler):
+
+    name = "oplevel"
+
+    def _peek(self, node_id: int, phase: str) -> Optional["Split"]:
+        pool = self._pool_for(phase)
+        local = self._peek_local_lpt(pool, node_id)
+        if local is not None:
+            return local
+        return _largest(pool.splits.values())
+
+    @staticmethod
+    def _peek_local_lpt(pool: _Pool, node_id: int) -> Optional["Split"]:
+        queue = pool.local.get(node_id)
+        if not queue:
+            return None
+        return _largest(pool.splits[i] for i in queue if i in pool.splits)
+
+    def pick_helper(self, exclude: int, alive_nodes: Sequence[int],
+                    active: Dict[int, int],
+                    split_index: Optional[int] = None) -> Optional[int]:
+        candidates = [n for n in alive_nodes if n != exclude]
+        if not candidates:
+            return None
+        holders = self._holders.get(split_index, frozenset()) \
+            if split_index is not None else frozenset()
+        # Global balance first, locality as the tie-break.
+        helper = min(candidates,
+                     key=lambda n: (active[n], 0 if n in holders else 1, n))
+        self._note_speculative(helper, split_index)
+        return helper

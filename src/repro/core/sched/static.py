@@ -1,0 +1,71 @@
+"""Static file-affinity policy — the pre-refactor behaviour, extracted.
+
+The whole split→node mapping is computed up front by
+:func:`repro.core.sched.affinity.affinity_assign` (greedy
+least-loaded-replica with deterministic tie-breaking) and each node then
+drains its own queue in order.  Nothing rebalances at runtime: a node
+that finishes early idles, exactly as the original coordinator-driven
+engine behaved.  This is the compatibility baseline every differential
+test pins.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence
+
+from repro.core.sched.affinity import affinity_assign
+from repro.core.sched.base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.coordinator import Split
+    from repro.core.io import StorageBackend
+
+__all__ = ["StaticAffinityScheduler"]
+
+
+class StaticAffinityScheduler(Scheduler):
+
+    name = "static-affinity"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._queues: Dict[int, Deque["Split"]] = {}
+        self._recovery: Dict[int, Deque["Split"]] = {}
+
+    def _plan(self, splits: Sequence["Split"], backend: "StorageBackend",
+              n_nodes: int) -> None:
+        assignment = affinity_assign(splits, backend, n_nodes)
+        self._queues = {n: deque(q) for n, q in assignment.items()}
+
+    def _plan_recovery(self, splits: Sequence["Split"],
+                       backend: "StorageBackend",
+                       survivors: List[int]) -> None:
+        assignment = affinity_assign(splits, backend, self.n_nodes,
+                                     allowed=survivors)
+        self._recovery = {n: deque(q) for n, q in assignment.items() if q}
+
+    def _queue(self, node_id: int, phase: str) -> Deque["Split"]:
+        source = self._recovery if phase == "recovery" else self._queues
+        return source.get(node_id, deque())
+
+    def _peek(self, node_id: int, phase: str) -> Optional["Split"]:
+        queue = self._queue(node_id, phase)
+        return queue[0] if queue else None
+
+    def _take(self, node_id: int, split: "Split", phase: str) -> None:
+        queue = self._queue(node_id, phase)
+        assert queue and queue[0] is split
+        queue.popleft()
+
+    def _backlog_cost(self, node_id: int, phase: str) -> float:
+        return float(sum(s.length for s in self._queue(node_id, phase)))
+
+    def queue_depth(self) -> int:
+        return (sum(len(q) for q in self._queues.values())
+                + sum(len(q) for q in self._recovery.values()))
+
+    def recovery_nodes(self) -> List[int]:
+        # Only survivors that were actually assigned re-execution work run
+        # a recovery pipeline (matches the pre-refactor engine).
+        return sorted(n for n, q in self._recovery.items() if q)

@@ -207,6 +207,47 @@ class PipelineReport:
             return ranked[0]
         return None
 
+    # -- scheduling --------------------------------------------------------
+    def placement(self) -> Optional[Dict[str, Any]]:
+        """Scheduler placement summary for this phase: the policy, a
+        per-node placement histogram, the locality hit rate and any
+        device-pool split.  ``None`` when the job predates (or ran
+        without) the scheduling layer's ``sched.place`` spans.
+
+        The map phase owns the recovery and speculative placements too —
+        they are map work, wherever the policy put it.
+        """
+        wanted = (("map", "recovery", "speculative")
+                  if self.phase == "map" else (self.phase,))
+        spans = [s for s in self.timeline.by_category("sched.place")
+                 if s.meta.get("phase") in wanted]
+        if not spans:
+            return None
+        by_node: Dict[str, int] = {}
+        by_device: Dict[str, int] = {}
+        hits = misses = 0
+        for span in spans:
+            weight = span.meta.get("partitions", 1)
+            by_node[span.name] = by_node.get(span.name, 0) + weight
+            device = span.meta.get("device")
+            if device is not None:
+                by_device[device] = by_device.get(device, 0) + weight
+            local = span.meta.get("local")
+            if local is True:
+                hits += 1
+            elif local is False:
+                misses += 1
+        return {
+            "policy": spans[0].meta.get("policy"),
+            "placements": sum(by_node.values()),
+            "by_node": dict(sorted(by_node.items())),
+            "by_device": dict(sorted(by_device.items())) or None,
+            "locality_hits": hits,
+            "locality_misses": misses,
+            "locality_hit_rate": (hits / (hits + misses)
+                                  if hits + misses else None),
+        }
+
     # -- rendering ---------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable summary of the analysis."""
@@ -221,6 +262,7 @@ class PipelineReport:
             "critical_path": self.critical_path(),
             "saturation": self.saturation(),
             "saturated_resource": self.saturated_resource(),
+            "placement": self.placement(),
         }
 
     def explain(self) -> str:
@@ -260,6 +302,22 @@ class PipelineReport:
             else:
                 lines.append("  saturated         (no sampled resource above "
                              "50% of capacity)")
+        placement = self.placement()
+        if placement is not None:
+            rate = placement["locality_hit_rate"]
+            locality = (f", locality {100 * rate:.0f}% "
+                        f"({placement['locality_hits']}/"
+                        f"{placement['locality_hits'] + placement['locality_misses']} local)"
+                        if rate is not None else "")
+            counts = placement["by_node"].values()
+            spread = (f"{min(counts)}-{max(counts)} per node"
+                      if counts else "none")
+            lines.append(f"  placement         {placement['policy']}: "
+                         f"{placement['placements']} ops, {spread}{locality}")
+            if placement["by_device"]:
+                lines.append("  device pool       "
+                             + "  ".join(f"{d} {n}" for d, n in
+                                         placement["by_device"].items()))
         return "\n".join(lines)
 
 
@@ -366,4 +424,13 @@ def build_job_report(result) -> Dict[str, Any]:
         },
         "counters": aggregate_counters(timeline),
         "telemetry": telemetry_section,
+        "scheduling": {
+            "policy": result.stats.get("scheduler"),
+            "placements": result.stats.get("sched_placements"),
+            "locality_hits": result.stats.get("sched_locality_hits"),
+            "locality_misses": result.stats.get("sched_locality_misses"),
+            "locality_hit_rate": result.stats.get("sched_locality_hit_rate"),
+            "map": phases["map"].get("placement"),
+            "reduce": phases["reduce"].get("placement"),
+        },
     }

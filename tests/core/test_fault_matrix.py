@@ -21,6 +21,13 @@ from tests.conftest import assert_outputs_match
 
 NODES = 4
 SEVERITIES = (1, 3)
+#: The matrix pins the static policy: its strict timing assertions
+#: (a fault never speeds the job up) only hold when placement ignores
+#: load.  Under the dynamic policies a retry legitimately perturbs the
+#: runtime pull order into a slightly different — occasionally better —
+#: schedule; those policies' fault guarantees live in
+#: tests/core/test_sched_faults.py.
+SCHEDULER = "static-affinity"
 
 
 def canonical(result):
@@ -55,7 +62,8 @@ class WordCount(AppCase):
         return {"wiki": wiki_text(300_000, seed=71)}
 
     def config(self):
-        return JobConfig(chunk_size=65_536, input_replication=NODES)
+        return JobConfig(chunk_size=65_536, input_replication=NODES,
+                         scheduler=SCHEDULER)
 
 
 class TeraSort(AppCase):
@@ -70,7 +78,7 @@ class TeraSort(AppCase):
     def config(self):
         return JobConfig(chunk_size=20_000, output_replication=1,
                          compression=NO_COMPRESSION,
-                         input_replication=NODES)
+                         input_replication=NODES, scheduler=SCHEDULER)
 
 
 class KMeans(AppCase):
@@ -83,7 +91,8 @@ class KMeans(AppCase):
         return {"points": kmeans_points(20_000, 4, seed=73)}
 
     def config(self):
-        return JobConfig(chunk_size=65_536, input_replication=NODES)
+        return JobConfig(chunk_size=65_536, input_replication=NODES,
+                         scheduler=SCHEDULER)
 
 
 CASES = {"wordcount": WordCount(), "terasort": TeraSort(), "kmeans": KMeans()}
