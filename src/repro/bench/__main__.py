@@ -1,9 +1,9 @@
 """Command-line entry point: ``python -m repro.bench <experiment>``.
 
 Experiments: table1, fig2, fig3, table2, table3, fig4, fig5, vertical,
-ablation, scaling, or ``all``.  Use ``--quick`` for truncated node
-sweeps.  ``scaling`` also writes ``BENCH_scaling.json`` to the current
-directory.
+ablation, scaling, service, or ``all``.  Use ``--quick`` for truncated
+node sweeps.  ``scaling`` writes ``BENCH_scaling.json`` and ``service``
+writes ``BENCH_service.json`` to the current directory.
 """
 
 from __future__ import annotations
@@ -52,11 +52,16 @@ def _reports(name: str, quick: bool):
         from repro.bench import scaling
         nodes = scaling.QUICK_NODES if quick else scaling.NODES
         return [scaling.report(nodes)]
+    if name == "service":
+        from repro.bench import service
+        if quick:
+            return [service.report(service.QUICK_JOBS, json_path=None)]
+        return [service.report()]
     raise SystemExit(f"unknown experiment {name!r}")
 
 
 ALL = ("table1", "fig2", "fig3", "table2", "table3", "fig4", "fig5",
-       "vertical", "ablation", "scaling")
+       "vertical", "ablation", "scaling", "service")
 
 
 def main(argv=None) -> int:

@@ -1,4 +1,4 @@
-"""Performance-regression gate over the committed scaling baseline.
+"""Performance-regression gate over the committed bench baselines.
 
 Replays sweep points from ``BENCH_scaling.json`` (the artefact
 ``python -m repro.bench scaling`` commits) and diffs the re-measured
@@ -11,6 +11,12 @@ Replays sweep points from ``BENCH_scaling.json`` (the artefact
   legitimately);
 * map ``overlap_factor`` — the §III-D pipelining payoff (absolute
   tolerance).
+
+When ``BENCH_service.json`` (from ``python -m repro.bench service``) is
+present it is replayed too: the multi-job trace replay is rerun per
+arbiter and its makespan, throughput and latency percentiles are diffed
+— plus the exact-match counters (``completed``, ``leaked_buffer_slots``)
+that must never drift at all.
 
 Wall-clock fields are deliberately ignored — they measure the CI
 machine, not the model.  Exit status is nonzero on any regression, so
@@ -27,8 +33,11 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts
 
 from repro.bench.scaling import DEFAULT_JSON_PATH, QUICK_NODES, sweep_point
+from repro.bench.service import DEFAULT_JSON_PATH as SERVICE_JSON_PATH
+from repro.bench.service import service_point
 
-__all__ = ["DEFAULT_TOLERANCES", "compare_point", "run_regress", "main"]
+__all__ = ["DEFAULT_TOLERANCES", "SERVICE_TOLERANCES", "compare_point",
+           "run_regress", "run_service_regress", "main"]
 
 #: metric -> (kind, tolerance); ``rel`` compares |new-old|/|old|,
 #: ``abs`` compares |new-old|
@@ -36,6 +45,18 @@ DEFAULT_TOLERANCES: Dict[str, Any] = {
     "elapsed_s": ("rel", 0.02),
     "network_bytes": ("rel", 0.0),
     "overlap_factor": ("abs", 0.05),
+}
+
+#: the service-replay gate: virtual latency metrics get the same float
+#: allowance as ``elapsed_s``; job counts and the leak audit are exact
+SERVICE_TOLERANCES: Dict[str, Any] = {
+    "makespan_s": ("rel", 0.02),
+    "throughput_jobs_per_s": ("rel", 0.02),
+    "latency_p50_s": ("rel", 0.02),
+    "latency_p95_s": ("rel", 0.02),
+    "latency_p99_s": ("rel", 0.02),
+    "completed": ("rel", 0.0),
+    "leaked_buffer_slots": ("abs", 0.0),
 }
 
 
@@ -108,9 +129,44 @@ def run_regress(baseline_path: str = DEFAULT_JSON_PATH,
     }
 
 
+def run_service_regress(baseline_path: str = SERVICE_JSON_PATH,
+                        tolerances: Optional[Dict[str, Any]] = None,
+                        costs: HostCosts = DEFAULT_HOST_COSTS
+                        ) -> Dict[str, Any]:
+    """Re-run every recorded service-replay point and diff it.
+
+    Each baseline point records its own trace shape (``n_jobs``,
+    ``trace_seed``) so the replay regenerates the identical arrival
+    trace; the comparison rows label points ``service:<arbiter>`` with
+    the job count in the ``nodes`` column.
+    """
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    tolerances = dict(tolerances or SERVICE_TOLERANCES)
+    points = baseline["points"]
+    if not points:
+        raise ValueError(f"{baseline_path} records no service points")
+    rows: List[Dict[str, Any]] = []
+    for recorded in points:
+        measured = service_point(recorded["arbiter"],
+                                 n_jobs=recorded["n_jobs"],
+                                 seed=recorded["trace_seed"], costs=costs)
+        label = {"app": f"service:{recorded['arbiter']}",
+                 "nodes": recorded["n_jobs"]}
+        rows.extend(compare_point({**recorded, **label},
+                                  {**measured, **label}, tolerances))
+    return {
+        "baseline_path": baseline_path,
+        "points": len(points),
+        "comparisons": rows,
+        "failures": [r for r in rows if not r["ok"]],
+        "ok": all(r["ok"] for r in rows),
+    }
+
+
 def _print_table(result: Dict[str, Any], out=None) -> None:
     out = out if out is not None else sys.stdout
-    header = (f"{'app':<10} {'nodes':>5} {'metric':<16} {'baseline':>14} "
+    header = (f"{'app':<18} {'nodes':>5} {'metric':<21} {'baseline':>14} "
               f"{'measured':>14} {'deviation':>10} {'tol':>8}  verdict")
     print(header, file=out)
     print("-" * len(header), file=out)
@@ -119,7 +175,7 @@ def _print_table(result: Dict[str, Any], out=None) -> None:
                else f"{r['tolerance']:g}")
         dev = (f"{r['deviation']:.2%}" if r["kind"] == "rel"
                else f"{r['deviation']:.4f}")
-        print(f"{r['app']:<10} {r['nodes']:>5} {r['metric']:<16} "
+        print(f"{r['app']:<18} {r['nodes']:>5} {r['metric']:<21} "
               f"{r['baseline']:>14.6g} {r['measured']:>14.6g} "
               f"{dev:>10} {tol:>8}  "
               f"{'ok' if r['ok'] else 'REGRESSION'}", file=out)
@@ -155,6 +211,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="absolute tolerance on the map overlap factor")
     parser.add_argument("--json", metavar="FILE", default=None,
                         help="also write the comparison result as JSON")
+    parser.add_argument("--service-baseline", default=None, metavar="FILE",
+                        help="service-replay baseline to gate (default: "
+                             f"{SERVICE_JSON_PATH} when present)")
+    parser.add_argument("--skip-service", action="store_true",
+                        help="replay only the scaling baseline")
     args = parser.parse_args(argv)
 
     tolerances = dict(DEFAULT_TOLERANCES)
@@ -176,13 +237,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"regress: {exc}", file=sys.stderr)
         return 2
     _print_table(result)
+
+    service_result = None
+    if not args.skip_service:
+        import os
+        service_baseline = args.service_baseline or SERVICE_JSON_PATH
+        if args.service_baseline is None \
+                and not os.path.exists(service_baseline):
+            print(f"(no {service_baseline}; service replay skipped)")
+        else:
+            try:
+                service_result = run_service_regress(service_baseline)
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"regress: {exc}", file=sys.stderr)
+                return 2
+            print()
+            _print_table(service_result)
+
     if args.json:
         from repro.obs.telemetry import ensure_parent_dir
         ensure_parent_dir(args.json)
+        payload = dict(result)
+        if service_result is not None:
+            payload = {"scaling": result, "service": service_result,
+                       "ok": result["ok"] and service_result["ok"]}
         with open(args.json, "w", encoding="utf-8") as fh:
-            json.dump(result, fh, indent=2, sort_keys=True)
+            json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
-    return 0 if result["ok"] else 1
+    ok = result["ok"] and (service_result is None or service_result["ok"])
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests

@@ -18,6 +18,11 @@ Observability (traces and reports)::
     python -m repro wordcount --nodes 4 --trace-out trace.json   # Perfetto
     python -m repro terasort --report-json report.json --explain
     python -m repro wordcount --metrics-interval 0.01 --metrics-out m.om
+
+The multi-job service (:mod:`repro.service`) has its own entry point::
+
+    python -m repro serve --jobs 60 --max-running 4
+    python -m repro serve --arrival-trace trace.json --arbiter lpt
 """
 
 from __future__ import annotations
@@ -36,7 +41,7 @@ from repro.hw.presets import GBE, QDR_IB, das4_cluster
 from repro.hw.specs import DeviceKind, MiB
 from repro.storage.records import NO_COMPRESSION
 
-__all__ = ["main"]
+__all__ = ["main", "serve_main"]
 
 APPS = ("wordcount", "pageview", "terasort", "kmeans", "matmul")
 
@@ -220,7 +225,140 @@ def make_job(args) -> Tuple[MapReduceApp, Dict[str, bytes], JobConfig]:
     raise SystemExit(f"unknown app {args.app!r}")
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    from repro.core.sched import ARBITER_NAMES
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the multi-job service: a stream of job "
+                    "submissions through admission control onto one "
+                    "shared simulated cluster.")
+    trace = parser.add_argument_group("arrival trace")
+    trace.add_argument("--arrival-trace", metavar="FILE.json", default=None,
+                       help="replay this JSON trace (see "
+                            "repro.service.trace.dump_trace); default: a "
+                            "synthetic mixed wordcount/terasort/kmeans "
+                            "trace")
+    trace.add_argument("--jobs", type=int, default=60,
+                       help="synthetic trace length (ignored with "
+                            "--arrival-trace)")
+    trace.add_argument("--trace-seed", type=int, default=7,
+                       help="seed for the synthetic trace")
+    trace.add_argument("--mean-interarrival", type=float, default=0.002,
+                       metavar="SECONDS",
+                       help="mean virtual interarrival of the synthetic "
+                            "trace")
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--network", choices=["ib", "gbe"], default="ib")
+    parser.add_argument("--storage", choices=["dfs", "local"], default="dfs")
+    parser.add_argument("--scheduler", choices=list(SCHEDULER_NAMES),
+                        default=None,
+                        help="per-job placement policy (default: "
+                             "static-affinity, or $REPRO_SCHEDULER)")
+    parser.add_argument("--chunk-kb", type=int, default=8,
+                        help="chunk size for service jobs (small jobs, "
+                             "small chunks)")
+    adm = parser.add_argument_group("admission control")
+    adm.add_argument("--queue-capacity", type=int, default=32,
+                     help="bounded admission queue: waiting jobs beyond "
+                          "this are rejected")
+    adm.add_argument("--max-running", type=int, default=4,
+                     help="dispatch slots: jobs running concurrently")
+    adm.add_argument("--tenant-running", type=int, default=None,
+                     metavar="N",
+                     help="per-tenant cap on concurrently running jobs")
+    adm.add_argument("--tenant-queued", type=int, default=None, metavar="N",
+                     help="per-tenant cap on queued jobs")
+    adm.add_argument("--arbiter", choices=list(ARBITER_NAMES),
+                     default="fair-share",
+                     help="cross-job dispatch policy")
+    obs = parser.add_argument_group("observability")
+    obs.add_argument("--trace-out", metavar="FILE.json", default=None,
+                     help="write the merged multi-job Chrome trace "
+                          "(per-job lane groups)")
+    obs.add_argument("--report-json", metavar="FILE", default=None,
+                     help="write the service report (per-job sections) "
+                          "as JSON")
+    obs.add_argument("--metrics-interval", type=float, default=None,
+                     metavar="SECONDS",
+                     help="sample glasswing_svc_* queue/admission gauges "
+                          "every SECONDS of simulated time")
+    obs.add_argument("--metrics-out", metavar="FILE", default=None,
+                     help="write sampled metrics (OpenMetrics or JSONL "
+                          "by extension); requires --metrics-interval")
+    return parser
+
+
+def serve_main(argv=None) -> int:
+    """Entry point of ``python -m repro serve``."""
+    from repro.service import (JobServer, ServicePolicy, load_trace,
+                               synthetic_trace)
+    args = build_serve_parser().parse_args(argv)
+    if args.metrics_out and args.metrics_interval is None:
+        raise SystemExit("--metrics-out requires --metrics-interval")
+    if args.arrival_trace:
+        requests = load_trace(args.arrival_trace)
+    else:
+        requests = synthetic_trace(args.jobs, seed=args.trace_seed,
+                                   mean_interarrival=args.mean_interarrival)
+    extra = {}
+    if args.scheduler is not None:
+        extra["scheduler"] = args.scheduler
+    config = JobConfig(chunk_size=args.chunk_kb * 1024,
+                       partitions_per_node=1, storage=args.storage, **extra)
+    policy = ServicePolicy(queue_capacity=args.queue_capacity,
+                           max_running=args.max_running,
+                           max_per_tenant_running=args.tenant_running,
+                           max_per_tenant_queued=args.tenant_queued,
+                           arbiter=args.arbiter)
+    cluster = das4_cluster(nodes=args.nodes,
+                           network=QDR_IB if args.network == "ib" else GBE)
+    server = JobServer(cluster, policy=policy, config=config,
+                       metrics_interval=args.metrics_interval)
+    for request in requests:
+        server.submit(request)
+    try:
+        result = server.run()
+    except RuntimeError as exc:
+        raise SystemExit(f"service run failed: {exc}")
+    pct = result.latency_percentiles()
+    print(f"service: {len(requests)} submission(s) on {args.nodes} node(s), "
+          f"{policy.max_running} slot(s), queue {policy.queue_capacity}, "
+          f"{policy.arbiter} arbiter")
+    for key, value in result.counters.items():
+        print(f"  {key:<12} {value}")
+    print(f"  makespan     {result.makespan:10.4f} s")
+    print(f"  throughput   {result.throughput:10.2f} jobs/s")
+    print(f"  latency p50  {pct['p50']:10.4f} s")
+    print(f"  latency p95  {pct['p95']:10.4f} s")
+    print(f"  latency p99  {pct['p99']:10.4f} s")
+    print(f"  peak running {result.peak_running}, "
+          f"peak queue {result.peak_queue_depth}")
+    print(f"  leaked buffer slots {result.leaked_buffer_slots}")
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+        print(f"  trace written to "
+              f"{write_chrome_trace(result.timeline, args.trace_out)}")
+    if args.metrics_out:
+        from repro.obs import write_metrics
+        print(f"  metrics written to "
+              f"{write_metrics(result.telemetry, args.metrics_out)}")
+    if args.report_json:
+        import json
+
+        from repro.obs import ensure_parent_dir
+        ensure_parent_dir(args.report_json)
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(result.to_report(), fh, indent=2, sort_keys=True)
+        print(f"  report written to {args.report_json}")
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        import sys
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.metrics_out and args.metrics_interval is None:
         raise SystemExit("--metrics-out requires --metrics-interval")

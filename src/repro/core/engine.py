@@ -26,6 +26,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.hw.node import Cluster
 from repro.hw.specs import ClusterSpec, DeviceKind
+from repro.net.transport import TrafficMeter
 from repro.ocl.runtime import Device
 from repro.simt.core import Event, Simulator
 from repro.simt.trace import Timeline
@@ -44,7 +45,8 @@ from repro.core.reduce_phase import ReducePhase
 from repro.core.sched import make_scheduler
 from repro.storage.records import FixedRecordFormat
 
-__all__ = ["run_glasswing", "GlasswingResult"]
+__all__ = ["run_glasswing", "GlasswingResult", "ClusterSession",
+           "JobExecution"]
 
 
 @dataclass
@@ -97,6 +99,368 @@ class GlasswingResult:
         return build_job_report(self)
 
 
+class ClusterSession:
+    """The long-lived substrate one or many jobs execute on.
+
+    Owns exactly the state that is *shared* when several jobs run
+    concurrently: the simulator, the session timeline (and its optional
+    telemetry hub), the cluster hardware, and the per-(node, device-kind)
+    :class:`~repro.ocl.runtime.Device` objects — two jobs mapping on the
+    same node's GPU must queue on one execution engine, not conjure a
+    second GPU.  Everything per-job (storage namespace, shuffle registry,
+    health view, scheduler, phases) lives on :class:`JobExecution`.
+    """
+
+    def __init__(self, cluster_spec: ClusterSpec,
+                 metrics_interval: Optional[float] = None):
+        self.sim = Simulator()
+        self.timeline = Timeline()
+        self.telemetry = None
+        if metrics_interval is not None:
+            # Lazy import: the core layer only depends on obs when
+            # sampling is actually requested.  Must attach before Cluster
+            # construction so every layer registers its gauges as it is
+            # built.
+            from repro.obs.telemetry import Telemetry
+            self.telemetry = Telemetry(self.sim, interval=metrics_interval)
+            self.timeline.telemetry = self.telemetry
+        self.cluster = Cluster(self.sim, cluster_spec, timeline=self.timeline)
+        self._devices: Dict[Tuple[int, DeviceKind], Device] = {}
+
+    def __len__(self) -> int:
+        return len(self.cluster)
+
+    def device(self, node_id: int, kind: DeviceKind) -> Device:
+        """The shared device of ``kind`` on ``node_id`` (created lazily)."""
+        key = (node_id, kind)
+        dev = self._devices.get(key)
+        if dev is None:
+            dev = self._devices[key] = _make_device(
+                self.sim, self.cluster[node_id], kind)
+        return dev
+
+    def run(self) -> None:
+        """Drive the simulation to completion (telemetry bracketed)."""
+        if self.telemetry is not None:
+            self.telemetry.start()
+        self.sim.run()
+
+
+class JobExecution:
+    """One job as a schedulable entity on a (possibly shared) session.
+
+    Construction performs the job's zero-sim-time setup — storage
+    namespace + input install, health view, shuffle registry, splits,
+    scheduler plan, device wiring, managers and map pipelines — exactly
+    as the single-tenant path always has; :meth:`start` launches the
+    orchestrator process.  Isolation boundaries:
+
+    * **storage/shuffle/recovery state** is private: each job gets its
+      own backend namespace, :class:`ShuffleRegistry` and
+      :class:`ClusterHealth`, so one job's node crash (executor-crash
+      semantics) triggers *its* recovery wave without touching tenants
+      sharing the node;
+    * **hardware** is shared through the session: CPU fluid shares, disk
+      and NIC queues, fabric slots and device engines all contend across
+      jobs — that contention is the phenomenon a multi-job service
+      exists to model;
+    * **accounting** is split by a :class:`TrafficMeter` and, for
+      concurrent jobs, a per-job :class:`~repro.simt.trace.TimelineFork`
+      whose spans are job-tagged in the session trace.
+
+    ``exclusive=True`` is the classic single-tenant mode: the job's
+    health view is also installed as the network-wide one and telemetry
+    stops when the job ends (bit-identical to the historical
+    ``run_glasswing`` behaviour).
+    """
+
+    def __init__(self, session: ClusterSession, app: MapReduceApp,
+                 inputs: Dict[str, bytes],
+                 config: Optional[JobConfig] = None,
+                 costs: HostCosts = DEFAULT_HOST_COSTS,
+                 faults: Optional[FaultPlan] = None,
+                 name: str = "glasswing-job",
+                 exclusive: bool = False,
+                 timeline: Optional[Timeline] = None):
+        self.session = session
+        self.app = app
+        self.name = name
+        self.exclusive = exclusive
+        self.config = config = config or JobConfig()
+        self.costs = costs
+        self.faults = faults
+        self.timeline = timeline = (timeline if timeline is not None
+                                    else session.timeline)
+        sim = session.sim
+        cluster = session.cluster
+        n = len(cluster)
+        self._box: Dict[str, Any] = {}
+
+        backend_kwargs = {}
+        if config.storage == "dfs":
+            backend_kwargs = dict(block_size=config.chunk_size,
+                                  replication=config.input_replication)
+        self.backend = backend = make_backend(config.storage, cluster,
+                                              **backend_kwargs)
+        for path, data in inputs.items():
+            backend.install(path, data)
+        backend.purge_caches()
+
+        # Per-job fault-tolerance state: the health view gates storage
+        # reads/writes and network deliveries; the registry is the
+        # shuffle's global ledger that recovery replans from.
+        self.health = health = ClusterHealth(n)
+        if exclusive:
+            cluster.network.health = health
+        self.meter = TrafficMeter(timeline=timeline, health=health)
+        if isinstance(backend, DFSBackend):
+            backend.dfs.health = health
+            backend.dfs.meter = self.meter
+        self.registry = registry = ShuffleRegistry(
+            n, config.partitions_per_node)
+
+        record_size = (app.record_format.record_size
+                       if isinstance(app.record_format, FixedRecordFormat)
+                       else None)
+        self.splits = splits = make_splits(backend, sorted(inputs),
+                                           config.chunk_size,
+                                           record_size=record_size)
+        self.scheduler = scheduler = make_scheduler(
+            config.scheduler, sim=sim, timeline=timeline)
+        scheduler.plan(splits, backend, n)
+
+        # Per-node device pools: one Device object per distinct kind (a
+        # kind appearing in both phases shares its device, as before),
+        # one concurrently scheduled map pipeline per pool member.
+        # Devices come from the session cache, so concurrent jobs queue
+        # on the same engines.
+        map_kinds = config.map_device_pool
+        self.reduce_kinds = reduce_kinds = config.reduce_device_pool
+        all_kinds = list(dict.fromkeys(map_kinds + reduce_kinds))
+        self.device_objs: List[Dict[DeviceKind, Device]] = [
+            {kind: session.device(i, kind) for kind in all_kinds}
+            for i in range(n)
+        ]
+        self.map_devices = [self.device_objs[i][map_kinds[0]]
+                            for i in range(n)]
+
+        self.speculation = None
+        if config.speculative_execution:
+            self.speculation = SpeculationController(
+                sim, app, config, backend, health, self.map_devices,
+                [cluster[i] for i in range(n)], costs=costs,
+                scheduler=scheduler)
+
+        self.managers = managers = {
+            i: IntermediateManager(
+                sim, cluster[i], app, config, timeline,
+                owned_pids=registry.owned_by(i),
+                costs=costs)
+            for i in range(n)
+        }
+        pooled_map = len(map_kinds) > 1
+        self.map_phases_by_node: List[List[MapPhase]] = [
+            [MapPhase(sim, cluster[i], self.device_objs[i][kind], app,
+                      config, backend, timeline, scheduler=scheduler,
+                      managers=managers, network=cluster.network,
+                      costs=costs, faults=faults, health=health,
+                      registry=registry, speculation=self.speculation,
+                      device_key=kind.value if pooled_map else None,
+                      meter=self.meter)
+             for kind in map_kinds]
+            for i in range(n)
+        ]
+        self.map_phases = [mp for phases in self.map_phases_by_node
+                           for mp in phases]
+
+        # Node-crash monitors: armed for the map/shuffle window only (a
+        # crash after the shuffle completed is out of this model's scope
+        # and is ignored — the monitor loses its race against
+        # ``shuffle_done``).
+        self.shuffle_done = Event(sim)
+        crashes: Tuple[NodeCrash, ...] = faults.node_crashes if faults else ()
+        for crash in crashes:
+            if crash.node >= n:
+                raise ValueError(
+                    f"node crash targets node {crash.node} but the "
+                    f"cluster has {n} nodes")
+            sim.process(self._crash_monitor(crash),
+                        name=f"crash.n{crash.node}")
+
+    # -- orchestration -----------------------------------------------------
+    def _crash_monitor(self, crash: NodeCrash):
+        sim = self.session.sim
+        health = self.health
+        idx, _ = yield sim.any_of([sim.timeout(crash.at), self.shuffle_done])
+        if idx != 0 or not health.alive(crash.node):
+            return
+        health.mark_dead(crash.node, sim.now)
+        self.timeline.record("node.crash",
+                             self.session.cluster[crash.node].name,
+                             sim.now, sim.now, node=crash.node)
+        for mp in self.map_phases_by_node[crash.node]:
+            mp.kill()
+        self.managers[crash.node].kill()
+
+    def start(self):
+        """Launch the orchestrator; returns its process (yieldable)."""
+        self.proc = self.session.sim.process(self._job(), name=self.name)
+        return self.proc
+
+    def _job(self):
+        sim = self.session.sim
+        cluster = self.session.cluster
+        timeline = self.timeline
+        health = self.health
+        managers = self.managers
+        scheduler = self.scheduler
+        config = self.config
+        result_box = self._box
+        t0 = sim.now
+        yield sim.all_of([mp.run() for mp in self.map_phases])
+        # The merge phase continues until all pushed Partitions arrive.
+        pushes = [p for mp in self.map_phases for p in mp.push_procs]
+        if pushes:
+            yield sim.all_of(pushes)
+        if not self.shuffle_done.triggered:
+            self.shuffle_done.succeed(None)
+        recovery_stats = (0, 0)
+        if health.any_dead:
+            t_r = sim.now
+            recovery_stats = yield from run_recovery(
+                sim, timeline, cluster, self.app, config, self.backend,
+                managers, self.map_devices, cluster.network, self.registry,
+                health, self.splits, scheduler, costs=self.costs,
+                meter=self.meter)
+            timeline.record("phase.recovery", "job", t_r, sim.now)
+        timeline.record("phase.map", "job", t0, sim.now)
+        for mp in self.map_phases:
+            mp.release_buffers()
+        t1 = sim.now
+        survivors = health.alive_nodes
+        yield sim.all_of([sim.process(managers[i].finalize(),
+                                      name=f"finalize{i}")
+                          for i in survivors])
+        timeline.record("phase.merge", "job", t1, sim.now)
+        t2 = sim.now
+        reduce_phases = []
+        for i in survivors:
+            if len(self.reduce_kinds) == 1:
+                scheduler.place_reduce(i, managers[i].owned)
+                reduce_phases.append(ReducePhase(
+                    sim, cluster[i],
+                    self.device_objs[i][self.reduce_kinds[0]], self.app,
+                    config, self.backend, timeline, managers[i],
+                    costs=self.costs, faults=self.faults))
+                continue
+            # Device pool: split the node's partitions across its devices
+            # proportionally to their speed (each partition's merged data
+            # is node-local either way, so this is a pure compute split).
+            shares = _partition_pids(
+                list(managers[i].owned),
+                [(kind, self.device_objs[i][kind].spec.gflops)
+                 for kind in self.reduce_kinds])
+            for kind in self.reduce_kinds:
+                pids = shares[kind]
+                if not pids:
+                    continue
+                scheduler.place_reduce(i, pids, device=kind.value)
+                reduce_phases.append(ReducePhase(
+                    sim, cluster[i], self.device_objs[i][kind], self.app,
+                    config, self.backend, timeline, managers[i],
+                    costs=self.costs, faults=self.faults, pids=pids))
+        yield sim.all_of([rp.run() for rp in reduce_phases])
+        timeline.record("phase.reduce", "job", t2, sim.now)
+        for rp in reduce_phases:
+            rp.release_buffers()
+        result_box["reduce_phases"] = reduce_phases
+        result_box["recovery"] = recovery_stats
+        result_box["times"] = (t1 - t0, t2 - t1, sim.now - t2)
+        result_box["t_start"] = t0
+        result_box["t_end"] = sim.now
+        if self.exclusive and self.session.telemetry is not None:
+            self.session.telemetry.stop()
+
+    # -- results -----------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """True once the orchestrator ran to completion."""
+        return "times" in self._box
+
+    @property
+    def leaked_buffer_slots(self) -> int:
+        """Buffer-slot balance over every pipeline the job ran."""
+        return (sum(mp.pipeline.slots_leaked for mp in self.map_phases)
+                + sum(rp.pipeline.slots_leaked
+                      for rp in self._box.get("reduce_phases", ())))
+
+    def result(self) -> GlasswingResult:
+        """Assemble the finished job's :class:`GlasswingResult`."""
+        if not self.finished:
+            raise RuntimeError(
+                "the job deadlocked: the event queue drained before the "
+                "orchestrator finished (fault schedule wedged the "
+                "pipeline?)")
+        result_box = self._box
+        map_time, merge_delay, reduce_time = result_box["times"]
+        output: Dict[int, List[Tuple[Any, Any]]] = {}
+        for rp in result_box["reduce_phases"]:
+            for pid, pairs in rp.output_pairs.items():
+                output[pid] = pairs
+
+        n = len(self.session)
+        metrics = JobMetrics(self.timeline, n)
+        repushed_runs, reexecuted_splits = result_box["recovery"]
+        map_phases = self.map_phases
+        scheduler = self.scheduler
+        faults = self.faults
+        speculation = self.speculation
+        stats = {
+            "batch_size": (map_phases[0].batch_records
+                           if map_phases else None),
+            "batch_autotuned": self.config.batch_size is None,
+            "records_mapped": sum(mp.records_mapped for mp in map_phases),
+            "pairs_emitted": sum(mp.pairs_emitted for mp in map_phases),
+            "keys_reduced": sum(rp.keys_reduced
+                                for rp in result_box["reduce_phases"]),
+            # Exclusive tenancy owns the whole fabric; a shared session
+            # reports the per-tenant meter (the fabric total would charge
+            # this job with its neighbours' traffic).
+            "network_bytes": (self.session.cluster.network.bytes_moved
+                              if self.exclusive else self.meter.bytes_moved),
+            "splits": len(self.splits),
+            "dead_nodes": self.health.dead_nodes,
+            "repushed_runs": repushed_runs,
+            "reexecuted_splits": reexecuted_splits,
+            "task_failures": faults.total_failures if faults else 0,
+            "speculative_launches": speculation.launches if speculation else 0,
+            "speculative_wins": speculation.wins if speculation else 0,
+            "scheduler": scheduler.name,
+            "sched_placements": scheduler.placements,
+            "sched_locality_hits": scheduler.locality_hits,
+            "sched_locality_misses": scheduler.locality_misses,
+            "sched_locality_hit_rate": scheduler.locality_hit_rate,
+            "sched_speculative_placements":
+                scheduler.speculative_placements,
+            # Buffer-slot balance: every acquired pipeline slot must be
+            # returned, even by pipelines a node crash killed mid-flight
+            # (phantom occupancy would poison the utilization reports).
+            "leaked_buffer_slots": self.leaked_buffer_slots,
+        }
+        # Pending fault-plan events (a crash timer that lost its race, a
+        # speculation watchdog) can outlive the job in the event heap, so
+        # the job end time comes from the orchestrator, not the drained
+        # clock.
+        return GlasswingResult(
+            app_name=self.app.name, config=self.config, n_nodes=n,
+            job_time=result_box["t_end"],
+            map_time=map_time, merge_delay=merge_delay,
+            reduce_time=reduce_time,
+            output=output, timeline=self.timeline, metrics=metrics,
+            stats=stats,
+            telemetry=self.session.telemetry if self.exclusive else None)
+
+
 def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
                   cluster_spec: ClusterSpec,
                   config: Optional[JobConfig] = None,
@@ -111,227 +475,20 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
     ``faults`` optionally injects task failures, stragglers and node
     crashes, which the job survives through re-execution, speculation and
     the shuffle-recovery wave (§III-E).
+
+    This is the single-tenant convenience wrapper: one
+    :class:`ClusterSession`, one exclusive :class:`JobExecution`.  A
+    multi-job service (:mod:`repro.service`) drives the same two classes
+    with many concurrent jobs instead.
     """
     config = config or JobConfig()
-    sim = Simulator()
-    timeline = Timeline()
-    telemetry = None
-    if config.metrics_interval is not None:
-        # Lazy import: the core layer only depends on obs when sampling
-        # is actually requested.  Must attach before Cluster construction
-        # so every layer registers its gauges as it is built.
-        from repro.obs.telemetry import Telemetry
-        telemetry = Telemetry(sim, interval=config.metrics_interval)
-        timeline.telemetry = telemetry
-    cluster = Cluster(sim, cluster_spec, timeline=timeline)
-    n = len(cluster)
-
-    backend_kwargs = {}
-    if config.storage == "dfs":
-        backend_kwargs = dict(block_size=config.chunk_size,
-                              replication=config.input_replication)
-    backend = make_backend(config.storage, cluster, **backend_kwargs)
-    for path, data in inputs.items():
-        backend.install(path, data)
-    backend.purge_caches()
-
-    # Cluster-wide fault-tolerance state: the health view gates storage
-    # reads/writes and network deliveries; the registry is the shuffle's
-    # global ledger that recovery replans from.
-    health = ClusterHealth(n)
-    cluster.network.health = health
-    if isinstance(backend, DFSBackend):
-        backend.dfs.health = health
-    registry = ShuffleRegistry(n, config.partitions_per_node)
-
-    record_size = (app.record_format.record_size
-                   if isinstance(app.record_format, FixedRecordFormat) else None)
-    splits = make_splits(backend, sorted(inputs), config.chunk_size,
-                         record_size=record_size)
-    scheduler = make_scheduler(config.scheduler, sim=sim, timeline=timeline)
-    scheduler.plan(splits, backend, n)
-
-    # Per-node device pools: one Device object per distinct kind (a kind
-    # appearing in both phases shares its device, as before), one
-    # concurrently scheduled map pipeline per pool member.
-    map_kinds = config.map_device_pool
-    reduce_kinds = config.reduce_device_pool
-    all_kinds = list(dict.fromkeys(map_kinds + reduce_kinds))
-    device_objs: List[Dict[DeviceKind, Device]] = [
-        {kind: _make_device(sim, cluster[i], kind) for kind in all_kinds}
-        for i in range(n)
-    ]
-    map_devices = [device_objs[i][map_kinds[0]] for i in range(n)]
-
-    speculation = None
-    if config.speculative_execution:
-        speculation = SpeculationController(
-            sim, app, config, backend, health, map_devices,
-            [cluster[i] for i in range(n)], costs=costs,
-            scheduler=scheduler)
-
-    managers = {
-        i: IntermediateManager(
-            sim, cluster[i], app, config, timeline,
-            owned_pids=registry.owned_by(i),
-            costs=costs)
-        for i in range(n)
-    }
-    pooled_map = len(map_kinds) > 1
-    map_phases_by_node: List[List[MapPhase]] = [
-        [MapPhase(sim, cluster[i], device_objs[i][kind], app, config,
-                  backend, timeline, scheduler=scheduler, managers=managers,
-                  network=cluster.network, costs=costs, faults=faults,
-                  health=health, registry=registry, speculation=speculation,
-                  device_key=kind.value if pooled_map else None)
-         for kind in map_kinds]
-        for i in range(n)
-    ]
-    map_phases = [mp for phases in map_phases_by_node for mp in phases]
-
-    # Node-crash monitors: armed for the map/shuffle window only (a crash
-    # after the shuffle completed is out of this model's scope and is
-    # ignored — the monitor loses its race against ``shuffle_done``).
-    shuffle_done = Event(sim)
-    crashes: Tuple[NodeCrash, ...] = faults.node_crashes if faults else ()
-
-    def crash_monitor(crash: NodeCrash):
-        idx, _ = yield sim.any_of([sim.timeout(crash.at), shuffle_done])
-        if idx != 0 or not health.alive(crash.node):
-            return
-        health.mark_dead(crash.node, sim.now)
-        timeline.record("node.crash", cluster[crash.node].name,
-                        sim.now, sim.now, node=crash.node)
-        for mp in map_phases_by_node[crash.node]:
-            mp.kill()
-        managers[crash.node].kill()
-
-    for crash in crashes:
-        if crash.node >= n:
-            raise ValueError(f"node crash targets node {crash.node} but the "
-                             f"cluster has {n} nodes")
-        sim.process(crash_monitor(crash), name=f"crash.n{crash.node}")
-
-    result_box: Dict[str, Any] = {}
-
-    def job():
-        t0 = sim.now
-        yield sim.all_of([mp.run() for mp in map_phases])
-        # The merge phase continues until all pushed Partitions arrive.
-        pushes = [p for mp in map_phases for p in mp.push_procs]
-        if pushes:
-            yield sim.all_of(pushes)
-        if not shuffle_done.triggered:
-            shuffle_done.succeed(None)
-        recovery_stats = (0, 0)
-        if health.any_dead:
-            t_r = sim.now
-            recovery_stats = yield from run_recovery(
-                sim, timeline, cluster, app, config, backend, managers,
-                map_devices, cluster.network, registry, health, splits,
-                scheduler, costs=costs)
-            timeline.record("phase.recovery", "job", t_r, sim.now)
-        timeline.record("phase.map", "job", t0, sim.now)
-        for mp in map_phases:
-            mp.release_buffers()
-        t1 = sim.now
-        survivors = health.alive_nodes
-        yield sim.all_of([sim.process(managers[i].finalize(),
-                                      name=f"finalize{i}")
-                          for i in survivors])
-        timeline.record("phase.merge", "job", t1, sim.now)
-        t2 = sim.now
-        reduce_phases = []
-        for i in survivors:
-            if len(reduce_kinds) == 1:
-                scheduler.place_reduce(i, managers[i].owned)
-                reduce_phases.append(ReducePhase(
-                    sim, cluster[i], device_objs[i][reduce_kinds[0]], app,
-                    config, backend, timeline, managers[i], costs=costs,
-                    faults=faults))
-                continue
-            # Device pool: split the node's partitions across its devices
-            # proportionally to their speed (each partition's merged data
-            # is node-local either way, so this is a pure compute split).
-            shares = _partition_pids(
-                list(managers[i].owned),
-                [(kind, device_objs[i][kind].spec.gflops)
-                 for kind in reduce_kinds])
-            for kind in reduce_kinds:
-                pids = shares[kind]
-                if not pids:
-                    continue
-                scheduler.place_reduce(i, pids, device=kind.value)
-                reduce_phases.append(ReducePhase(
-                    sim, cluster[i], device_objs[i][kind], app, config,
-                    backend, timeline, managers[i], costs=costs,
-                    faults=faults, pids=pids))
-        yield sim.all_of([rp.run() for rp in reduce_phases])
-        timeline.record("phase.reduce", "job", t2, sim.now)
-        for rp in reduce_phases:
-            rp.release_buffers()
-        result_box["reduce_phases"] = reduce_phases
-        result_box["recovery"] = recovery_stats
-        result_box["times"] = (t1 - t0, t2 - t1, sim.now - t2)
-        result_box["t_end"] = sim.now
-        if telemetry is not None:
-            telemetry.stop()
-
-    sim.process(job(), name="glasswing-job")
-    if telemetry is not None:
-        telemetry.start()
-    sim.run()
-
-    if "times" not in result_box:
-        raise RuntimeError(
-            "the job deadlocked: the event queue drained before the "
-            "orchestrator finished (fault schedule wedged the pipeline?)")
-    map_time, merge_delay, reduce_time = result_box["times"]
-    output: Dict[int, List[Tuple[Any, Any]]] = {}
-    for rp in result_box["reduce_phases"]:
-        for pid, pairs in rp.output_pairs.items():
-            output[pid] = pairs
-
-    metrics = JobMetrics(timeline, n)
-    repushed_runs, reexecuted_splits = result_box["recovery"]
-    stats = {
-        "batch_size": map_phases[0].batch_records if map_phases else None,
-        "batch_autotuned": config.batch_size is None,
-        "records_mapped": sum(mp.records_mapped for mp in map_phases),
-        "pairs_emitted": sum(mp.pairs_emitted for mp in map_phases),
-        "keys_reduced": sum(rp.keys_reduced
-                            for rp in result_box["reduce_phases"]),
-        "network_bytes": cluster.network.bytes_moved,
-        "splits": len(splits),
-        "dead_nodes": health.dead_nodes,
-        "repushed_runs": repushed_runs,
-        "reexecuted_splits": reexecuted_splits,
-        "task_failures": faults.total_failures if faults else 0,
-        "speculative_launches": speculation.launches if speculation else 0,
-        "speculative_wins": speculation.wins if speculation else 0,
-        "scheduler": scheduler.name,
-        "sched_placements": scheduler.placements,
-        "sched_locality_hits": scheduler.locality_hits,
-        "sched_locality_misses": scheduler.locality_misses,
-        "sched_locality_hit_rate": scheduler.locality_hit_rate,
-        "sched_speculative_placements": scheduler.speculative_placements,
-        # Buffer-slot balance: every acquired pipeline slot must be
-        # returned, even by pipelines a node crash killed mid-flight
-        # (phantom occupancy would poison the utilization reports).
-        "leaked_buffer_slots": (
-            sum(mp.pipeline.slots_leaked for mp in map_phases)
-            + sum(rp.pipeline.slots_leaked
-                  for rp in result_box["reduce_phases"])),
-    }
-    # Pending fault-plan events (a crash timer that lost its race, a
-    # speculation watchdog) can outlive the job in the event heap, so the
-    # job end time comes from the orchestrator, not the drained clock.
-    return GlasswingResult(
-        app_name=app.name, config=config, n_nodes=n,
-        job_time=result_box["t_end"],
-        map_time=map_time, merge_delay=merge_delay, reduce_time=reduce_time,
-        output=output, timeline=timeline, metrics=metrics, stats=stats,
-        telemetry=telemetry)
+    session = ClusterSession(cluster_spec,
+                             metrics_interval=config.metrics_interval)
+    execution = JobExecution(session, app, inputs, config=config,
+                             costs=costs, faults=faults, exclusive=True)
+    execution.start()
+    session.run()
+    return execution.result()
 
 
 def _make_device(sim: Simulator, node, kind: DeviceKind) -> Device:

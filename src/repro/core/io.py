@@ -85,7 +85,8 @@ class DFSBackend(StorageBackend):
     def _replica_write(self, writer: int, replica: int,
                        nbytes: int) -> Generator:
         if replica != writer:
-            yield from self.dfs.cluster.network.send(writer, replica, nbytes)
+            yield from self.dfs.cluster.network.send(writer, replica, nbytes,
+                                                     meter=self.dfs.meter)
         yield from self.dfs.cluster[replica].disk.write(nbytes, stream="out")
 
     def size(self, path: str) -> int:

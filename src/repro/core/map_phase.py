@@ -96,7 +96,8 @@ class MapPhase:
                  registry: ShuffleRegistry | None = None,
                  speculation: Optional["SpeculationController"] = None,
                  recovery: bool = False,
-                 device_key: Optional[str] = None):
+                 device_key: Optional[str] = None,
+                 meter=None):
         self.sim = sim
         self.node = node
         self.device = device
@@ -114,6 +115,8 @@ class MapPhase:
         self.registry = registry
         self.speculation = speculation
         self.recovery = recovery
+        #: optional per-tenant TrafficMeter threading through every push
+        self.meter = meter
         # ``device_key`` marks this pipeline as one member of a multi-
         # device pool: work is then acquired through the scheduler's
         # waiting-capable pool gate instead of the plain per-node pull.
@@ -492,7 +495,8 @@ class MapPhase:
                          for _, r in runs)
             start = self.sim.now
             delivered = yield from self.network.send(self.node.node_id,
-                                                     owner, stored)
+                                                     owner, stored,
+                                                     meter=self.meter)
             self.timeline.record("map.push", self.node.name, start,
                                  self.sim.now, pids=len(runs), bytes=stored,
                                  delivered=bool(delivered))

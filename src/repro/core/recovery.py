@@ -151,7 +151,8 @@ def run_recovery(sim: Simulator, timeline: Timeline, cluster,
                  devices: Sequence, network: Network,
                  registry: ShuffleRegistry, health: ClusterHealth,
                  splits: Sequence[Split], scheduler: Scheduler,
-                 costs: HostCosts = DEFAULT_HOST_COSTS) -> Generator:
+                 costs: HostCosts = DEFAULT_HOST_COSTS,
+                 meter=None) -> Generator:
     """The post-crash recovery wave (process body; yields until done).
 
     Returns ``(n_repushed_runs, n_reexecuted_splits)`` for the stats
@@ -183,7 +184,7 @@ def run_recovery(sim: Simulator, timeline: Timeline, cluster,
     #    per (source, owner) pair, runs join the owner's cache.
     procs = [sim.process(
         _repush(sim, timeline, cluster[source], network, managers,
-                registry, config, costs, owner, entries),
+                registry, config, costs, owner, entries, meter=meter),
         name=f"recover.n{source}->n{owner}")
         for (source, owner), entries in sorted(repushes.items())]
     # 4. Re-execution: the lost splits go back through the scheduler
@@ -198,7 +199,7 @@ def run_recovery(sim: Simulator, timeline: Timeline, cluster,
                 sim, cluster[node_id], devices[node_id], app, config,
                 backend, timeline, scheduler=scheduler, managers=managers,
                 network=network, costs=costs, faults=None, health=health,
-                registry=registry, recovery=True))
+                registry=registry, recovery=True, meter=meter))
     waits = procs + [ph.run() for ph in phases]
     if waits:
         yield sim.all_of(waits)
@@ -214,14 +215,16 @@ def _repush(sim: Simulator, timeline: Timeline, node, network: Network,
             managers: Dict[int, IntermediateManager],
             registry: ShuffleRegistry, config: JobConfig, costs: HostCosts,
             owner: int,
-            entries: List[Tuple[int, int, SortedRun]]) -> Generator:
+            entries: List[Tuple[int, int, SortedRun]],
+            meter=None) -> Generator:
     """Re-deliver durable runs from ``node``'s spill to ``owner``."""
     stored = sum(config.compression.compressed_size(run.raw_bytes)
                  for _, _, run in entries)
     start = sim.now
     yield from node.disk.read(stored, stream="spill.recover")
     yield node.host_work(1, costs.push_overhead, tag="push")
-    delivered = yield from network.send(node.node_id, owner, stored)
+    delivered = yield from network.send(node.node_id, owner, stored,
+                                        meter=meter)
     timeline.record("recovery.repush", node.name, start, sim.now,
                     owner=owner, runs=len(entries), bytes=stored,
                     delivered=bool(delivered))

@@ -23,6 +23,7 @@ from repro.simt.trace import Timeline
 from repro.core.sched.affinity import (affinity_assign, holders_by_split,
                                        replica_holders)
 from repro.core.sched.base import Scheduler
+from repro.core.sched.crossjob import ARBITER_NAMES, CrossJobArbiter
 from repro.core.sched.dynamic import DynamicLocalityScheduler
 from repro.core.sched.oplevel import OpLevelScheduler
 from repro.core.sched.static import StaticAffinityScheduler
@@ -31,6 +32,7 @@ __all__ = [
     "SCHEDULER_NAMES", "Scheduler", "make_scheduler",
     "StaticAffinityScheduler", "DynamicLocalityScheduler",
     "OpLevelScheduler",
+    "ARBITER_NAMES", "CrossJobArbiter",
     "affinity_assign", "holders_by_split", "replica_holders",
 ]
 

@@ -1,0 +1,64 @@
+"""Cross-job dispatch arbitration for the multi-job service.
+
+The PR5 schedulers balance *operations within one job*; a long-lived job
+server additionally needs to decide *which admitted job* gets the next
+free dispatch slot on the shared cluster.  OS4M's argument is that load
+balance must be global across the workload, not per-job — so the arbiter
+extends the same scoring families across job boundaries:
+
+``fair-share`` (default)
+    Strict priority classes first (lower number = more urgent), then the
+    tenant with the fewest jobs currently running on the cluster, then
+    FIFO by arrival.  Within one (priority, tenant) class the dispatch
+    order is therefore exactly the submission order, which is what the
+    admission-queue property suite pins down.
+
+``lpt``
+    Strict priority first, then the *largest* remaining job demand
+    (longest-processing-time, the oplevel policy's scoring lifted from
+    splits to whole jobs), then FIFO.  Big jobs start early so they do
+    not land at the tail of the service schedule — the cross-job version
+    of keeping the biggest operations off the tail (OS4M).
+
+Both orderings are total and deterministic: ties always fall through to
+the monotonically increasing arrival sequence number, so a seeded trace
+replays to an identical dispatch (and completion) order every run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+__all__ = ["CrossJobArbiter", "ARBITER_NAMES"]
+
+ARBITER_NAMES = ("fair-share", "lpt")
+
+
+class CrossJobArbiter:
+    """Picks which queued job a freed dispatch slot goes to.
+
+    Candidates are objects exposing ``priority`` (int, lower is more
+    urgent), ``tenant`` (str), ``seq`` (arrival sequence number) and
+    ``demand`` (total input bytes — the job-level analogue of a split's
+    length).  The arbiter is pure policy: the admission queue decides who
+    *may* run (bounds, throttles), the arbiter decides who runs *next*.
+    """
+
+    def __init__(self, policy: str = "fair-share"):
+        if policy not in ARBITER_NAMES:
+            raise ValueError(
+                f"unknown cross-job policy {policy!r}; expected one of "
+                f"{', '.join(ARBITER_NAMES)}")
+        self.policy = policy
+
+    def pick(self, candidates: Sequence,
+             running_by_tenant: Optional[Dict[str, int]] = None):
+        """The next job to dispatch, or ``None`` without candidates."""
+        if not candidates:
+            return None
+        running = running_by_tenant or {}
+        if self.policy == "lpt":
+            key = lambda r: (r.priority, -r.demand, r.seq)
+        else:
+            key = lambda r: (r.priority, running.get(r.tenant, 0), r.seq)
+        return min(candidates, key=key)

@@ -19,7 +19,7 @@ from repro.simt.trace import Timeline
 
 from repro.hw.specs import NetworkSpec
 
-__all__ = ["Network", "Transfer"]
+__all__ = ["Network", "Transfer", "TrafficMeter"]
 
 
 @dataclass(frozen=True)
@@ -31,6 +31,33 @@ class Transfer:
     nbytes: int
     start: float
     end: float
+
+
+class TrafficMeter:
+    """Per-tenant attribution of traffic on a shared fabric.
+
+    A multi-job session runs many tenants over one :class:`Network`; the
+    NICs and fabric slots stay shared (that is the contention being
+    modelled) but each job needs its own byte accounting, its own
+    ``net.transfer`` spans and its own liveness view.  A job threads its
+    meter through every ``send`` it issues:
+
+    * ``bytes_moved`` / ``transfers`` count only this tenant's traffic;
+    * ``timeline``, when set, receives the transfer spans instead of the
+      network's session timeline (a :class:`~repro.simt.trace.Timeline`
+      fork forwards them to the session anyway, job-tagged);
+    * ``health``, when set, overrides the network-wide health view, so a
+      node that crashed *for this job* drops this job's deliveries while
+      other tenants keep using it (executor-crash semantics).
+    """
+
+    __slots__ = ("timeline", "health", "bytes_moved", "transfers")
+
+    def __init__(self, timeline: Optional[Timeline] = None, health=None):
+        self.timeline = timeline
+        self.health = health
+        self.bytes_moved = 0
+        self.transfers = 0
 
 
 class Network:
@@ -85,10 +112,15 @@ class Network:
                 link=link)
         return counter
 
-    def _endpoint_alive(self, node: int) -> bool:
-        return self.health is None or self.health.alive(node)
+    def _endpoint_alive(self, node: int,
+                        meter: Optional[TrafficMeter] = None) -> bool:
+        health = self.health
+        if meter is not None and meter.health is not None:
+            health = meter.health
+        return health is None or health.alive(node)
 
-    def send(self, src: int, dst: int, nbytes: int) -> Generator:
+    def send(self, src: int, dst: int, nbytes: int,
+             meter: Optional[TrafficMeter] = None) -> Generator:
         """Process-style generator: move ``nbytes`` from ``src`` to ``dst``.
 
         Completes when the last byte has been received, returning ``True``
@@ -97,29 +129,34 @@ class Network:
         an already-dead node returns ``False`` immediately (connection
         refused) and a receiver dying mid-transfer loses the data — the
         wire time is still paid, but the send reports ``False``.
+
+        A :class:`TrafficMeter` attributes the transfer to one tenant of
+        a shared fabric: its health view takes precedence over the
+        network-wide one and its timeline receives the transfer span.
         """
         self._check_node(src)
         self._check_node(dst)
         if nbytes < 0:
             raise ValueError("negative transfer size")
-        if not self._endpoint_alive(dst):
+        if not self._endpoint_alive(dst, meter):
             return False
         if src == dst or nbytes == 0:
             return True
         link_counter = self._link_telemetry(src, dst)
         if link_counter is None:
-            return (yield from self._wire(src, dst, nbytes))
+            return (yield from self._wire(src, dst, nbytes, meter))
         # In-flight gauge covers the whole transfer, including interrupt
         # exits (a killed sender must not pin phantom bytes on the link).
         self._inflight[(src, dst)] += nbytes
         try:
-            delivered = yield from self._wire(src, dst, nbytes)
+            delivered = yield from self._wire(src, dst, nbytes, meter)
         finally:
             self._inflight[(src, dst)] -= nbytes
         link_counter.inc(nbytes)
         return delivered
 
-    def _wire(self, src: int, dst: int, nbytes: int) -> Generator:
+    def _wire(self, src: int, dst: int, nbytes: int,
+              meter: Optional[TrafficMeter] = None) -> Generator:
         start = self.sim.now
         wire_time = nbytes / self.spec.bandwidth
         # Store-and-forward phases: a flow never holds one endpoint while
@@ -165,15 +202,21 @@ class Network:
             yield self.sim.shared_timeout(wire_time)
         finally:
             self._rx[dst].release()
-        delivered = self._endpoint_alive(dst)
+        delivered = self._endpoint_alive(dst, meter)
         self.bytes_moved += nbytes
         record = Transfer(src, dst, nbytes, start, self.sim.now)
         self.transfers.append(record)
-        if self.timeline is not None:
-            self.timeline.record("net.transfer", f"{src}->{dst}",
-                                 start, self.sim.now, bytes=nbytes,
-                                 delivered=delivered, tx_wait=tx_wait,
-                                 fabric_wait=fabric_wait, rx_wait=rx_wait)
+        timeline = self.timeline
+        if meter is not None:
+            meter.bytes_moved += nbytes
+            meter.transfers += 1
+            if meter.timeline is not None:
+                timeline = meter.timeline
+        if timeline is not None:
+            timeline.record("net.transfer", f"{src}->{dst}",
+                            start, self.sim.now, bytes=nbytes,
+                            delivered=delivered, tx_wait=tx_wait,
+                            fabric_wait=fabric_wait, rx_wait=rx_wait)
         return delivered
 
     def time_for(self, nbytes: int) -> float:

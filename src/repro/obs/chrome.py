@@ -6,7 +6,10 @@ trace-event JSON format understood by ``chrome://tracing`` and Perfetto
 
 * every span *instance* (``node0``, ``node1``, ``job``, ``0->1`` …)
   becomes one **process row**, so a cluster run reads as one lane per
-  node;
+  node; spans tagged with a ``job=<label>`` meta (a multi-job service
+  session, see :mod:`repro.service`) get **per-job rows** —
+  ``wordcount:node0`` next to ``terasort:node0`` — so concurrent
+  tenants read as separate lane groups over the same virtual clock;
 * every span *category* (``map.input``, ``map.kernel``,
   ``reduce.output`` …) becomes a **thread row** within its process,
   ordered so the five pipeline stages appear in dependency order;
@@ -44,6 +47,12 @@ def _json_safe(value: Any) -> Any:
     return repr(value)
 
 
+def _instance_name(span) -> str:
+    """Process-row key: job-tagged spans get per-job rows."""
+    job = span.meta.get("job")
+    return f"{job}:{span.name}" if job else span.name
+
+
 def _category_sort_key(category: str):
     """Order thread rows: phase prefix first, then pipeline-stage order."""
     prefix, _, stage = category.rpartition(".")
@@ -57,7 +66,7 @@ def _category_sort_key(category: str):
 def chrome_trace_events(timeline: Timeline,
                         time_scale: float = TIME_SCALE) -> List[Dict[str, Any]]:
     """The flat trace-event list for ``timeline`` (metadata + spans)."""
-    instances = sorted({s.name for s in timeline.spans})
+    instances = sorted({_instance_name(s) for s in timeline.spans})
     pids = {name: i + 1 for i, name in enumerate(instances)}
     categories = sorted({s.category for s in timeline.spans},
                         key=_category_sort_key)
@@ -67,7 +76,7 @@ def chrome_trace_events(timeline: Timeline,
     for name, pid in pids.items():
         events.append({"ph": "M", "name": "process_name", "pid": pid,
                        "args": {"name": name}})
-    used = sorted({(s.name, s.category) for s in timeline.spans})
+    used = sorted({(_instance_name(s), s.category) for s in timeline.spans})
     for name, cat in used:
         pid, tid = pids[name], tids[cat]
         events.append({"ph": "M", "name": "thread_name", "pid": pid,
@@ -81,7 +90,7 @@ def chrome_trace_events(timeline: Timeline,
             "ph": "X",
             "ts": span.start * time_scale,
             "dur": span.duration * time_scale,
-            "pid": pids[span.name],
+            "pid": pids[_instance_name(span)],
             "tid": tids[span.category],
             "args": {k: _json_safe(v) for k, v in span.meta.items()},
         })

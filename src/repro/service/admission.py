@@ -1,0 +1,157 @@
+"""Admission control: a bounded, tenant-throttled, priority job queue.
+
+Queue-based load-leveling: the queue absorbs arrival bursts so the
+cluster sees a steady dispatch rate, and its *bound* is the admission
+decision — when the buffer is full (or a tenant exceeds its queued
+quota) the submission is rejected immediately rather than accepted into
+an ever-growing backlog.  The queue itself is pure bookkeeping with no
+simulator dependency, which is what makes it directly property-testable
+(see ``tests/test_service_admission.py``): the server drives it from
+simulated processes, hypothesis drives it from random traces.
+
+Invariants the implementation maintains (and the tests assert):
+
+* ``depth <= policy.queue_capacity`` at all times;
+* per-tenant queued entries never exceed ``max_per_tenant_queued``;
+* :meth:`candidates` never returns a tenant at its running quota;
+* iteration order within the queue is arrival order, so any arbiter
+  that tie-breaks on the arrival sequence gets FIFO-within-priority
+  for free;
+* every admitted entry leaves the queue exactly once — dispatched or
+  cancelled, never both, never silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["ServicePolicy", "AdmissionQueue"]
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Admission + dispatch knobs of a :class:`~repro.service.JobServer`.
+
+    ``queue_capacity``
+        Admitted-but-not-yet-running jobs the server will buffer; a
+        submission arriving at a full queue is rejected.
+    ``max_running``
+        Dispatch slots: jobs running concurrently on the shared cluster.
+    ``max_per_tenant_running``
+        Per-tenant throttle on concurrently *running* jobs (``None``
+        disables; a tenant at quota stays queued, consuming no slot).
+    ``max_per_tenant_queued``
+        Per-tenant throttle on *queued* jobs: one chatty tenant cannot
+        monopolise the admission buffer (``None`` disables).
+    ``arbiter``
+        Cross-job dispatch policy (``fair-share`` or ``lpt``, see
+        :class:`~repro.core.sched.CrossJobArbiter`).
+    """
+
+    queue_capacity: int = 32
+    max_running: int = 4
+    max_per_tenant_running: Optional[int] = None
+    max_per_tenant_queued: Optional[int] = None
+    arbiter: str = "fair-share"
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 0:
+            raise ValueError("queue_capacity must be >= 0")
+        if self.max_running < 1:
+            raise ValueError("max_running must be >= 1")
+        for knob in ("max_per_tenant_running", "max_per_tenant_queued"):
+            value = getattr(self, knob)
+            if value is not None and value < 1:
+                raise ValueError(f"{knob} must be >= 1 or None")
+
+
+class AdmissionQueue:
+    """The server's waiting room (arrival-ordered, bounded, throttled)."""
+
+    def __init__(self, policy: ServicePolicy):
+        self.policy = policy
+        self._waiting: Dict[str, object] = {}   # name -> entry, FIFO order
+        self._queued_by_tenant: Dict[str, int] = {}
+        self.offered = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.cancelled = 0
+        self.peak_depth = 0
+
+    # -- admission ---------------------------------------------------------
+    def offer(self, entry) -> bool:
+        """Admit ``entry`` to the queue, or reject it (full / throttled).
+
+        ``entry`` exposes ``name`` (unique) and ``tenant``; rejection is
+        immediate and final — admission control, not backpressure.
+        """
+        self.offered += 1
+        if entry.name in self._waiting:
+            raise ValueError(f"duplicate job name {entry.name!r}")
+        cap = self.policy.queue_capacity
+        quota = self.policy.max_per_tenant_queued
+        if len(self._waiting) >= cap:
+            self.rejected += 1
+            return False
+        if quota is not None \
+                and self._queued_by_tenant.get(entry.tenant, 0) >= quota:
+            self.rejected += 1
+            return False
+        self._waiting[entry.name] = entry
+        self._queued_by_tenant[entry.tenant] = \
+            self._queued_by_tenant.get(entry.tenant, 0) + 1
+        self.admitted += 1
+        self.peak_depth = max(self.peak_depth, len(self._waiting))
+        return True
+
+    # -- dispatch ----------------------------------------------------------
+    def candidates(self, running_by_tenant: Optional[Dict[str, int]] = None
+                   ) -> List:
+        """Queued entries eligible for a dispatch slot, arrival order.
+
+        A tenant already at ``max_per_tenant_running`` is filtered out —
+        its jobs wait without consuming a slot.
+        """
+        quota = self.policy.max_per_tenant_running
+        running = running_by_tenant or {}
+        return [entry for entry in self._waiting.values()
+                if quota is None or running.get(entry.tenant, 0) < quota]
+
+    def take(self, name: str):
+        """Remove and return the entry picked for dispatch."""
+        entry = self._waiting.pop(name)
+        self._release_tenant(entry.tenant)
+        return entry
+
+    def cancel(self, name: str) -> bool:
+        """Withdraw a queued entry before dispatch; False if not queued.
+
+        A cancelled job never touched the cluster: no backend namespace,
+        no registry, no buffer slots — the leak audit in the service
+        tests asserts exactly that.
+        """
+        entry = self._waiting.pop(name, None)
+        if entry is None:
+            return False
+        self._release_tenant(entry.tenant)
+        self.cancelled += 1
+        return True
+
+    def _release_tenant(self, tenant: str) -> None:
+        left = self._queued_by_tenant.get(tenant, 0) - 1
+        if left > 0:
+            self._queued_by_tenant[tenant] = left
+        else:
+            self._queued_by_tenant.pop(tenant, None)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self._waiting)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._waiting
+
+    def __len__(self) -> int:
+        return len(self._waiting)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-__all__ = ["Span", "Timeline"]
+__all__ = ["Span", "Timeline", "TimelineFork"]
 
 
 @dataclass(frozen=True)
@@ -125,5 +125,36 @@ class Timeline:
             for cat in self.categories() if cat.startswith(prefix)
         }
 
+    def fork(self, label: str) -> "TimelineFork":
+        """A per-tenant view of this timeline (see :class:`TimelineFork`)."""
+        return TimelineFork(self, label)
+
     def __len__(self) -> int:
         return len(self.spans)
+
+
+class TimelineFork(Timeline):
+    """A per-tenant view onto a shared session timeline.
+
+    A multi-job session renders one merged trace, but each job also needs
+    a private timeline for its own metrics and report.  Spans recorded on
+    a fork are kept locally *and* forwarded to the parent, tagged with
+    ``job=<label>`` so trace viewers can group rows per job.
+
+    The fork deliberately does **not** inherit the parent's telemetry
+    hub: instruments carried by per-job components must not re-register
+    session-level gauges for every admitted job (same metric labels would
+    collide); session-wide sampling keeps running off the parent.
+    """
+
+    def __init__(self, parent: Timeline, label: str) -> None:
+        super().__init__()
+        self.parent = parent
+        self.label = label
+
+    def record(self, category: str, name: str, start: float, end: float,
+               **meta: Any) -> Span:
+        meta.setdefault("job", self.label)
+        span = super().record(category, name, start, end, **meta)
+        self.parent.spans.append(span)
+        return span

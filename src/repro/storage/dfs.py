@@ -87,6 +87,10 @@ class DFS:
         #: optional ClusterHealth view; when set, reads are served only
         #: from replicas on live nodes (a crashed node's disk is gone)
         self.health = None
+        #: optional :class:`~repro.net.transport.TrafficMeter`; when this
+        #: DFS belongs to one tenant of a shared cluster, its block
+        #: traffic is attributed to that tenant
+        self.meter = None
 
     def _replica_alive(self, node: int) -> bool:
         return self.health is None or self.health.alive(node)
@@ -156,7 +160,8 @@ class DFS:
     def _write_replica(self, writer: int, replica: int, block: _Block,
                        chunk: bytes) -> Generator:
         if replica != writer:
-            yield from self.cluster.network.send(writer, replica, len(chunk))
+            yield from self.cluster.network.send(writer, replica, len(chunk),
+                                                 meter=self.meter)
         yield from self.node_fs[replica].write(block.local_path, chunk)
 
     # -- read path -----------------------------------------------------------
@@ -206,7 +211,8 @@ class DFS:
             block.local_path, offset, length,
             stream=f"{stream}@r{reader}" if stream else "")
         if source != reader:
-            yield from self.cluster.network.send(source, reader, length)
+            yield from self.cluster.network.send(source, reader, length,
+                                                 meter=self.meter)
         yield from self._jni_charge(reader, length)
         return data
 

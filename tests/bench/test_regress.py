@@ -67,7 +67,7 @@ def test_regress_rejects_empty_selection():
 # ------------------------------------------------------------- CLI level
 def test_cli_passes_and_writes_json(tmp_path, capsys):
     out = tmp_path / "sub" / "regress.json"
-    rc = main(["--nodes", "1", "--json", str(out)])
+    rc = main(["--nodes", "1", "--json", str(out), "--skip-service"])
     assert rc == 0
     assert "PASS" in capsys.readouterr().out
     payload = json.loads(out.read_text())
@@ -82,7 +82,7 @@ def test_cli_fails_on_doctored_baseline(tmp_path, capsys):
         p["elapsed_s"] *= 2.0
     path = tmp_path / "doctored.json"
     path.write_text(json.dumps(doctored))
-    rc = main(["--baseline", str(path), "--nodes", "1"])
+    rc = main(["--baseline", str(path), "--nodes", "1", "--skip-service"])
     assert rc == 1
     assert "REGRESSION" in capsys.readouterr().out
 

@@ -1,0 +1,108 @@
+"""Solo-vs-concurrent differential: contention changes timing, never data.
+
+The service layer's headline guarantee: a job's *output* depends only on
+its data path (inputs, config, app), while sharing the cluster with
+other tenants only moves it around in time.  Three mixed jobs
+(WordCount, TeraSort, KMeans) run twice —
+
+* **solo** — each on its own fresh cluster via ``run_glasswing``;
+* **concurrent** — all three at once through a :class:`JobServer` with
+  three dispatch slots on one shared 4-node cluster
+
+— and every byte-level observable must be identical: the sorted output
+pairs, the per-job shuffle volume (attributed by the per-tenant
+:class:`~repro.net.transport.TrafficMeter`, *not* the shared fabric
+total) and the data-path counters.  Parametrized over both placement
+policies, because dynamic-locality makes placement decisions from
+runtime state that concurrency visibly perturbs.
+"""
+
+import pytest
+
+from repro.core import JobConfig, run_glasswing
+from repro.hw.presets import das4_cluster
+from repro.service import JobRequest, JobServer, ServicePolicy
+
+NODES = 4
+POLICIES = ("static-affinity", "dynamic-locality")
+#: stats keys that describe the data path, not timing — these must be
+#: exactly equal between a solo and a contended run
+DATA_PATH_KEYS = ("records_mapped", "pairs_emitted", "keys_reduced",
+                  "network_bytes", "splits", "leaked_buffer_slots")
+
+REQUESTS = (
+    JobRequest(name="wordcount", kind="wordcount", nbytes=32 * 1024,
+               seed=11),
+    JobRequest(name="terasort", kind="terasort", nbytes=32 * 1024,
+               seed=12),
+    JobRequest(name="kmeans", kind="kmeans", nbytes=32 * 1024, seed=13),
+)
+
+
+def base_config(scheduler):
+    return JobConfig(chunk_size=8 * 1024, partitions_per_node=1,
+                     scheduler=scheduler)
+
+
+def solo_results(scheduler):
+    out = {}
+    for request in REQUESTS:
+        app, inputs, overrides = request.materialize()
+        cfg = base_config(scheduler).with_(**overrides)
+        out[request.name] = run_glasswing(app, inputs,
+                                          das4_cluster(nodes=NODES), cfg)
+    return out
+
+
+@pytest.fixture(scope="module", params=POLICIES)
+def scheduler(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def runs(scheduler):
+    solo = solo_results(scheduler)
+    server = JobServer(das4_cluster(nodes=NODES),
+                       policy=ServicePolicy(max_running=len(REQUESTS)),
+                       config=base_config(scheduler))
+    for request in REQUESTS:
+        server.submit(request)
+    return solo, server.run()
+
+
+def test_jobs_actually_overlapped(runs):
+    """The comparison is only meaningful if the cluster was shared."""
+    _, concurrent = runs
+    assert concurrent.peak_running == len(REQUESTS)
+    assert len(concurrent.completed) == len(REQUESTS)
+
+
+@pytest.mark.parametrize("name", [r.name for r in REQUESTS])
+def test_output_is_bit_identical(runs, name):
+    solo, concurrent = runs
+    contended = concurrent.job(name).result
+    assert contended.sorted_output() == solo[name].sorted_output()
+
+
+@pytest.mark.parametrize("name", [r.name for r in REQUESTS])
+def test_data_path_counters_are_identical(runs, name):
+    solo, concurrent = runs
+    contended = concurrent.job(name).result
+    for key in DATA_PATH_KEYS:
+        assert contended.stats[key] == solo[name].stats[key], key
+
+
+def test_no_job_leaked_buffer_slots(runs):
+    _, concurrent = runs
+    assert concurrent.leaked_buffer_slots == 0
+    for record in concurrent.records:
+        assert record.leaked_buffer_slots == 0
+
+
+def test_contention_only_slows(runs):
+    """Sharing the cluster can never make a job finish before its solo
+    run: per-job wall time (dispatch -> finish) >= the solo job time."""
+    solo, concurrent = runs
+    for record in concurrent.completed:
+        contended_time = record.finished_at - record.started_at
+        assert contended_time >= solo[record.name].job_time - 1e-12

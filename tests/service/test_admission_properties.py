@@ -1,0 +1,180 @@
+"""Property suite for the admission queue and the cross-job arbiter.
+
+The queue and arbiter are pure bookkeeping (no simulator), so hypothesis
+drives them directly with random op sequences against a reference model:
+
+* the queue bound and per-tenant queued quota are never exceeded, and
+  every offer is admitted exactly when the model says so;
+* admitted entries leave the queue exactly once (take xor cancel);
+* ``candidates`` preserves arrival order and never returns a tenant at
+  its running quota;
+* the arbiters implement their documented total orders, so
+  FIFO-within-priority falls out of the seq tie-break.
+
+The server-level properties (no starvation, deterministic completion
+order) live in ``test_server_properties.py``.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sched import ARBITER_NAMES, CrossJobArbiter
+from repro.service import AdmissionQueue, ServicePolicy
+
+TENANTS = ("alice", "bob", "carol")
+
+
+def entry(name, tenant="alice", priority=1, seq=0, demand=1):
+    return SimpleNamespace(name=name, tenant=tenant, priority=priority,
+                           seq=seq, demand=demand)
+
+
+entries_strategy = st.lists(
+    st.tuples(st.sampled_from(TENANTS), st.integers(0, 2),
+              st.integers(1, 1 << 16)),
+    min_size=0, max_size=12).map(
+        lambda rows: [entry(f"j{i}", tenant=t, priority=p, seq=i, demand=d)
+                      for i, (t, p, d) in enumerate(rows)])
+
+#: op stream: offer a new entry, or take/cancel the oldest queued one
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("offer"), st.sampled_from(TENANTS)),
+        st.tuples(st.just("take"), st.none()),
+        st.tuples(st.just("cancel"), st.none())),
+    min_size=1, max_size=40)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=ops_strategy, capacity=st.integers(0, 4),
+       quota=st.one_of(st.none(), st.integers(1, 2)))
+def test_queue_matches_reference_model(ops, capacity, quota):
+    """Random offer/take/cancel streams against a dict reference model."""
+    policy = ServicePolicy(queue_capacity=capacity,
+                           max_per_tenant_queued=quota)
+    queue = AdmissionQueue(policy)
+    model = {}                       # name -> tenant, insertion ordered
+    serial = 0
+    for op, tenant in ops:
+        if op == "offer":
+            e = entry(f"j{serial}", tenant=tenant, seq=serial)
+            serial += 1
+            fits = len(model) < capacity and (
+                quota is None
+                or sum(1 for t in model.values() if t == tenant) < quota)
+            assert queue.offer(e) is fits
+            if fits:
+                model[e.name] = tenant
+        elif op == "take" and model:
+            name = next(iter(model))
+            taken = queue.take(name)
+            assert taken.name == name
+            del model[name]
+        elif op == "cancel" and model:
+            name = next(iter(model))
+            assert queue.cancel(name) is True
+            del model[name]
+        # invariants after every op
+        assert queue.depth == len(model) <= capacity
+        assert [e.name for e in queue.candidates()] == list(model)
+        if quota is not None:
+            per_tenant = {}
+            for t in model.values():
+                per_tenant[t] = per_tenant.get(t, 0) + 1
+            assert all(n <= quota for n in per_tenant.values())
+    # conservation: every admitted entry left exactly one way or is
+    # still waiting
+    taken_or_waiting = queue.admitted - queue.cancelled - len(model)
+    assert taken_or_waiting >= 0
+    assert queue.offered == queue.admitted + queue.rejected
+    assert queue.peak_depth <= capacity
+
+
+@settings(max_examples=200, deadline=None)
+@given(entries=entries_strategy,
+       running=st.dictionaries(st.sampled_from(TENANTS),
+                               st.integers(0, 3), max_size=3),
+       quota=st.integers(1, 3))
+def test_candidates_filter_running_quota(entries, running, quota):
+    policy = ServicePolicy(queue_capacity=64,
+                           max_per_tenant_running=quota)
+    queue = AdmissionQueue(policy)
+    for e in entries:
+        assert queue.offer(e)
+    eligible = queue.candidates(running)
+    assert [e.name for e in eligible] == \
+        [e.name for e in entries if running.get(e.tenant, 0) < quota]
+
+
+def test_cancel_unknown_name_is_a_noop():
+    queue = AdmissionQueue(ServicePolicy())
+    assert queue.cancel("ghost") is False
+    assert queue.cancelled == 0
+
+
+def test_duplicate_name_rejected_loudly():
+    queue = AdmissionQueue(ServicePolicy())
+    assert queue.offer(entry("dup"))
+    with pytest.raises(ValueError, match="duplicate"):
+        queue.offer(entry("dup"))
+
+
+@pytest.mark.parametrize("knob,value", [
+    ("queue_capacity", -1), ("max_running", 0),
+    ("max_per_tenant_running", 0), ("max_per_tenant_queued", -2)])
+def test_policy_validation(knob, value):
+    with pytest.raises(ValueError):
+        ServicePolicy(**{knob: value})
+
+
+# -- arbiter total orders --------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(entries=entries_strategy,
+       running=st.dictionaries(st.sampled_from(TENANTS),
+                               st.integers(0, 3), max_size=3))
+def test_fair_share_total_order(entries, running):
+    """fair-share: priority class, then least-running tenant, then
+    arrival — so FIFO within (priority, tenant) is structural."""
+    arbiter = CrossJobArbiter("fair-share")
+    pick = arbiter.pick(entries, running)
+    if not entries:
+        assert pick is None
+        return
+    assert pick is min(entries, key=lambda e: (e.priority,
+                                               running.get(e.tenant, 0),
+                                               e.seq))
+
+
+@settings(max_examples=200, deadline=None)
+@given(entries=entries_strategy)
+def test_lpt_prefers_largest_demand_within_priority(entries):
+    arbiter = CrossJobArbiter("lpt")
+    pick = arbiter.pick(entries)
+    if not entries:
+        assert pick is None
+        return
+    assert pick.priority == min(e.priority for e in entries)
+    class_ = [e for e in entries if e.priority == pick.priority]
+    assert pick.demand == max(e.demand for e in class_)
+
+
+@settings(max_examples=100, deadline=None)
+@given(entries=entries_strategy, name=st.sampled_from(ARBITER_NAMES))
+def test_arbiters_are_fifo_within_priority_and_tenant(entries, name):
+    """Both arbiters tie-break on seq: among entries of one tenant with
+    equal priority and demand, the earliest arrival always wins."""
+    for e in entries:
+        e.tenant, e.demand = "alice", 7
+    pick = CrossJobArbiter(name).pick(entries, {})
+    if entries:
+        class_ = [e for e in entries if e.priority == pick.priority]
+        assert pick.seq == min(e.seq for e in class_)
+
+
+def test_unknown_arbiter_rejected():
+    with pytest.raises(ValueError, match="fair-share"):
+        CrossJobArbiter("round-robin")

@@ -1,0 +1,85 @@
+"""Tests for ``python -m repro serve`` and the arrival-trace files."""
+
+import json
+
+import pytest
+
+from repro.cli import main, serve_main
+from repro.service import JobRequest, dump_trace, load_trace, synthetic_trace
+
+
+def test_serve_runs_synthetic_trace(capsys):
+    rc = main(["serve", "--jobs", "6", "--nodes", "2", "--max-running", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "6 submission(s)" in out
+    assert "completed    6" in out
+    assert "leaked buffer slots 0" in out
+    for field in ("makespan", "throughput", "latency p50", "latency p95",
+                  "latency p99"):
+        assert field in out
+
+
+def test_serve_writes_artifacts(tmp_path, capsys):
+    report = tmp_path / "svc" / "report.json"
+    trace = tmp_path / "svc" / "trace.json"
+    metrics = tmp_path / "svc" / "metrics.om"
+    rc = serve_main(["--jobs", "4", "--nodes", "2",
+                     "--report-json", str(report),
+                     "--trace-out", str(trace),
+                     "--metrics-interval", "0.002",
+                     "--metrics-out", str(metrics)])
+    assert rc == 0
+    payload = json.loads(report.read_text())
+    assert payload["schema"] == "glasswing-service-report/1"
+    assert payload["counters"]["completed"] == 4
+    assert len(payload["jobs"]) == 4
+    events = json.loads(trace.read_text())["traceEvents"]
+    # per-job process rows: job-tagged spans render as "<job>:<instance>"
+    rows = {e["args"]["name"] for e in events
+            if e.get("name") == "process_name"}
+    assert any(name.startswith("job0000:") for name in rows)
+    assert metrics.read_text().startswith("# ")
+
+
+def test_serve_metrics_out_requires_interval():
+    with pytest.raises(SystemExit, match="metrics-interval"):
+        serve_main(["--jobs", "2", "--metrics-out", "m.om"])
+
+
+def test_serve_replays_trace_file(tmp_path, capsys):
+    rows = synthetic_trace(5, seed=9, nbytes_choices=(2048,),
+                           kinds=("wordcount",))
+    # arrives while the single slot is busy, withdrawn before dispatch
+    rows.append(JobRequest(name="late-cancel", kind="wordcount",
+                           nbytes=2048, submit_at=rows[0].submit_at + 1e-6,
+                           cancel_at=rows[0].submit_at + 1e-5, seed=1))
+    path = tmp_path / "trace.json"
+    dump_trace(rows, str(path))
+    assert load_trace(str(path)) == rows
+    rc = serve_main(["--arrival-trace", str(path), "--nodes", "2",
+                     "--max-running", "1", "--arbiter", "lpt"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "lpt arbiter" in out
+    assert "cancelled    1" in out
+    assert "completed    5" in out
+
+
+def test_serve_rejects_unknown_arbiter():
+    with pytest.raises(SystemExit):
+        serve_main(["--jobs", "2", "--arbiter", "round-robin"])
+
+
+def test_dump_trace_rejects_config_overrides(tmp_path):
+    row = JobRequest(name="cfg", kind="wordcount",
+                     config={"chunk_size": 1024})
+    with pytest.raises(ValueError, match="config overrides"):
+        dump_trace([row], str(tmp_path / "t.json"))
+
+
+def test_load_trace_rejects_non_array(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"not": "a trace"}')
+    with pytest.raises(ValueError, match="JSON array"):
+        load_trace(str(path))

@@ -1,0 +1,104 @@
+"""Server-level properties under random arrival traces.
+
+Hypothesis drives whole :class:`JobServer` runs (tiny wordcount jobs so
+each example stays cheap) across random queue capacities, slot counts
+and priority mixes:
+
+* **no starvation** — every admitted job eventually completes; only
+  explicit rejections are left behind;
+* **FIFO within (priority, tenant)** — under fair-share, two jobs of
+  one tenant and one priority class always dispatch in arrival order;
+* **determinism** — the same trace replayed on a fresh server produces
+  the identical record table (admission decisions, dispatch times,
+  completion times), which is the property the committed
+  ``BENCH_service.json`` baseline and its 0%-drift gate stand on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import JobConfig
+from repro.hw.presets import das4_cluster
+from repro.service import JobServer, ServicePolicy, synthetic_trace
+
+# no scheduler pin: the properties are server-level and must hold under
+# whatever placement policy $REPRO_SCHEDULER selects (CI service-matrix)
+CONFIG = JobConfig(chunk_size=4096, partitions_per_node=1)
+
+traces = st.builds(
+    synthetic_trace,
+    n_jobs=st.integers(1, 8),
+    seed=st.integers(0, 2 ** 16),
+    mean_interarrival=st.sampled_from((5e-4, 2e-3, 1e-2)),
+    nbytes_choices=st.just((1024, 2048)),
+    kinds=st.just(("wordcount",)))
+
+policies = st.builds(
+    ServicePolicy,
+    queue_capacity=st.integers(1, 6),
+    max_running=st.integers(1, 3),
+    max_per_tenant_running=st.one_of(st.none(), st.just(1)),
+    arbiter=st.sampled_from(("fair-share", "lpt")))
+
+
+def run_service(requests, policy):
+    server = JobServer(das4_cluster(nodes=2), policy=policy, config=CONFIG)
+    for request in requests:
+        server.submit(request)
+    return server.run()
+
+
+def table(result):
+    """The full observable record table, for exact replay comparison."""
+    return [(r.name, r.outcome, r.started_at, r.finished_at,
+             r.leaked_buffer_slots) for r in result.records]
+
+
+@settings(max_examples=12, deadline=None)
+@given(requests=traces, policy=policies)
+def test_no_starvation_and_no_leaks(requests, policy):
+    result = run_service(requests, policy)
+    for record in result.records:
+        assert record.outcome in ("completed", "rejected")
+        if record.outcome == "completed":
+            assert record.leaked_buffer_slots == 0
+            assert record.finished_at >= record.started_at >= \
+                record.submit_at
+    assert result.counters["completed"] + result.counters["rejected"] == \
+        len(requests)
+    assert result.peak_running <= policy.max_running
+    assert result.peak_queue_depth <= policy.queue_capacity
+
+
+@settings(max_examples=10, deadline=None)
+@given(requests=traces,
+       capacity=st.integers(2, 6), max_running=st.integers(1, 2))
+def test_fair_share_is_fifo_within_priority_and_tenant(requests, capacity,
+                                                       max_running):
+    policy = ServicePolicy(queue_capacity=capacity, max_running=max_running,
+                           arbiter="fair-share")
+    result = run_service(requests, policy)
+    started = sorted((r for r in result.records if r.started_at is not None),
+                     key=lambda r: (r.started_at, r.seq))
+    for i, a in enumerate(started):
+        for b in started[i + 1:]:
+            if (a.tenant, a.priority) == (b.tenant, b.priority):
+                assert a.seq < b.seq, (
+                    f"{b.name} (seq {b.seq}) overtook {a.name} (seq "
+                    f"{a.seq}) within tenant {a.tenant!r} priority "
+                    f"{a.priority}")
+
+
+@settings(max_examples=8, deadline=None)
+@given(n_jobs=st.integers(2, 6), seed=st.integers(0, 2 ** 16),
+       policy=policies)
+def test_identical_seeds_replay_identically(n_jobs, seed, policy):
+    def once():
+        return run_service(
+            synthetic_trace(n_jobs, seed=seed, nbytes_choices=(1024, 2048),
+                            kinds=("wordcount",)),
+            policy)
+    first, second = once(), once()
+    assert table(first) == table(second)
+    assert first.makespan == second.makespan
+    assert first.counters == second.counters
