@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Iterative K-Means: chaining Glasswing jobs until convergence.
+"""Iterative K-Means: Lloyd rounds on the DAG engine until convergence.
 
 The paper runs a single Lloyd iteration; this example runs the real
-iterative algorithm — each iteration is one MapReduce job whose reduced
-centers seed the next — and prints per-iteration shifts and times.
+iterative algorithm — each iteration is one stage execution on a shared
+DAG session (the point file is served from the cross-round cache after
+round one; see docs/dag.md), its reduced centers broadcast into the
+next round — and prints per-iteration shifts and times.
 
     python examples/iterative_kmeans.py
 """

@@ -14,6 +14,14 @@ implemented and analyzed five applications with diverse properties":
 * :mod:`repro.apps.matmul` — tiled Matrix Multiply (MM): compute-bound
   with large data volume.
 
+Beyond the paper's five, two genuinely multi-round MRC-family apps
+exercise the DAG engine (:mod:`repro.dag`):
+
+* :mod:`repro.apps.prefixsum` — two chained stages (block sums, then the
+  scan seeded by broadcast offsets), bit-exact integer math.
+* :mod:`repro.apps.pagerank` — one degree round plus damped
+  power-iteration rounds with the rank vector as broadcast state.
+
 :mod:`repro.apps.datagen` generates the synthetic counterparts of the
 paper's datasets (wikipedia logs/dumps, TeraGen records, random points and
 matrices) at laptop scale.
@@ -21,9 +29,15 @@ matrices) at laptop scale.
 
 from repro.apps.kmeans import KMeansApp
 from repro.apps.matmul import MatMulApp
+from repro.apps.pagerank import (PageRankContribApp, PageRankDegreeApp,
+                                 pagerank_iterate)
 from repro.apps.pageview import PageViewApp
+from repro.apps.prefixsum import (PrefixBlockSumApp, PrefixScanApp,
+                                  prefix_sums)
 from repro.apps.terasort import TeraSortApp
 from repro.apps.wordcount import WordCountApp
 
-__all__ = ["KMeansApp", "MatMulApp", "PageViewApp", "TeraSortApp",
-           "WordCountApp"]
+__all__ = ["KMeansApp", "MatMulApp", "PageRankContribApp",
+           "PageRankDegreeApp", "PageViewApp", "PrefixBlockSumApp",
+           "PrefixScanApp", "TeraSortApp", "WordCountApp",
+           "pagerank_iterate", "prefix_sums"]

@@ -28,6 +28,8 @@ __all__ = [
     "kmeans_points",
     "kmeans_centers",
     "matmul_tasks",
+    "prefix_values",
+    "pagerank_edges",
     "TERA_RECORD",
 ]
 
@@ -108,6 +110,38 @@ def kmeans_centers(k: int, dims: int, seed: int = 19) -> np.ndarray:
     via Hadoop's DistributedCache; Glasswing ships them in job state)."""
     rng = np.random.default_rng(seed)
     return (rng.random((k, dims), dtype=np.float32) * 100.0)
+
+
+def prefix_values(n: int, seed: int = 29, lo: int = -1000,
+                  hi: int = 1000) -> bytes:
+    """``n`` packed ``(index, value)`` int64 records for the prefix-sums
+    DAG: indices ``0..n-1`` in order, values uniform in ``[lo, hi]``.
+    Integer math keeps the scan bit-exact against ``numpy.cumsum``."""
+    rng = np.random.default_rng(seed)
+    rows = np.empty((n, 2), dtype="<i8")
+    rows[:, 0] = np.arange(n)
+    rows[:, 1] = rng.integers(lo, hi + 1, size=n)
+    return rows.tobytes()
+
+
+def pagerank_edges(n_vertices: int, n_edges: int, seed: int = 31) -> bytes:
+    """``n_edges`` packed ``(src, dst)`` int32 edge records.
+
+    The first ``n_vertices`` edges have ``src = 0..n_vertices-1`` so
+    every vertex has at least one out-edge (no dangling-mass term in the
+    PageRank update); the remainder are uniform random.  The whole list
+    is then shuffled deterministically.
+    """
+    if n_edges < n_vertices:
+        raise ValueError("need n_edges >= n_vertices (one out-edge each)")
+    rng = np.random.default_rng(seed)
+    rows = np.empty((n_edges, 2), dtype="<i4")
+    rows[:n_vertices, 0] = np.arange(n_vertices)
+    rows[n_vertices:, 0] = rng.integers(0, n_vertices,
+                                        size=n_edges - n_vertices)
+    rows[:, 1] = rng.integers(0, n_vertices, size=n_edges)
+    rng.shuffle(rows, axis=0)
+    return rows.tobytes()
 
 
 def matmul_tasks(matrix_size: int, tile: int, seed: int = 23

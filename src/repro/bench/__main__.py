@@ -1,9 +1,10 @@
 """Command-line entry point: ``python -m repro.bench <experiment>``.
 
 Experiments: table1, fig2, fig3, table2, table3, fig4, fig5, vertical,
-ablation, scaling, service, or ``all``.  Use ``--quick`` for truncated
-node sweeps.  ``scaling`` writes ``BENCH_scaling.json`` and ``service``
-writes ``BENCH_service.json`` to the current directory.
+ablation, scaling, service, dag, or ``all``.  Use ``--quick`` for
+truncated node sweeps.  ``scaling`` writes ``BENCH_scaling.json``,
+``service`` writes ``BENCH_service.json`` and ``dag`` writes
+``BENCH_dag.json`` to the current directory.
 """
 
 from __future__ import annotations
@@ -57,11 +58,16 @@ def _reports(name: str, quick: bool):
         if quick:
             return [service.report(service.QUICK_JOBS, json_path=None)]
         return [service.report()]
+    if name == "dag":
+        from repro.bench import dag
+        if quick:
+            return [dag.report(quick=True, json_path=None)]
+        return [dag.report()]
     raise SystemExit(f"unknown experiment {name!r}")
 
 
 ALL = ("table1", "fig2", "fig3", "table2", "table3", "fig4", "fig5",
-       "vertical", "ablation", "scaling", "service")
+       "vertical", "ablation", "scaling", "service", "dag")
 
 
 def main(argv=None) -> int:

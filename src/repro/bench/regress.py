@@ -18,6 +18,11 @@ arbiter and its makespan, throughput and latency percentiles are diffed
 — plus the exact-match counters (``completed``, ``leaked_buffer_slots``)
 that must never drift at all.
 
+Likewise ``BENCH_dag.json`` (from ``python -m repro.bench dag``): the
+three DAG/iterative points are re-measured and diffed, including the
+exact cache-traffic byte counters, the k-means DAG-vs-resubmit speedup,
+and the bit-identical/bit-exact output flags that must never flip.
+
 Wall-clock fields are deliberately ignored — they measure the CI
 machine, not the model.  Exit status is nonzero on any regression, so
 CI can gate on ``python -m repro.bench.regress``.
@@ -32,12 +37,15 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts
 
+from repro.bench.dag import DEFAULT_JSON_PATH as DAG_JSON_PATH
+from repro.bench.dag import dag_point
 from repro.bench.scaling import DEFAULT_JSON_PATH, QUICK_NODES, sweep_point
 from repro.bench.service import DEFAULT_JSON_PATH as SERVICE_JSON_PATH
 from repro.bench.service import service_point
 
-__all__ = ["DEFAULT_TOLERANCES", "SERVICE_TOLERANCES", "compare_point",
-           "run_regress", "run_service_regress", "main"]
+__all__ = ["DEFAULT_TOLERANCES", "SERVICE_TOLERANCES", "DAG_TOLERANCES",
+           "compare_point", "run_regress", "run_service_regress",
+           "run_dag_regress", "main"]
 
 #: metric -> (kind, tolerance); ``rel`` compares |new-old|/|old|,
 #: ``abs`` compares |new-old|
@@ -57,6 +65,34 @@ SERVICE_TOLERANCES: Dict[str, Any] = {
     "latency_p99_s": ("rel", 0.02),
     "completed": ("rel", 0.0),
     "leaked_buffer_slots": ("abs", 0.0),
+}
+
+#: the DAG-replay gate: simulated times get the float allowance, every
+#: byte counter is exact (cache traffic drifting means the cross-round
+#: caching behaviour changed)
+DAG_TOLERANCES: Dict[str, Any] = {
+    "elapsed_s": ("rel", 0.02),
+    "network_bytes": ("rel", 0.0),
+    "cache_hit_bytes": ("rel", 0.0),
+    "cache_miss_bytes": ("rel", 0.0),
+}
+
+#: per-app extras on top of :data:`DAG_TOLERANCES` — correctness flags
+#: are booleans compared exactly (flipping one is a correctness bug, not
+#: a perf regression, but the gate still refuses it)
+_DAG_EXTRA_TOLERANCES: Dict[str, Dict[str, Any]] = {
+    "dag:kmeans": {"naive_elapsed_s": ("rel", 0.02),
+                   "speedup": ("rel", 0.02),
+                   "identical_output": ("abs", 0.0)},
+    "dag:pagerank": {"max_abs_err": ("abs", 1e-12)},
+    "dag:prefixsum": {"exact": ("abs", 0.0)},
+}
+
+#: which recorded fields parameterise each point's replay
+_DAG_SHAPE_KEYS: Dict[str, Any] = {
+    "dag:kmeans": ("n_points", "rounds"),
+    "dag:pagerank": ("n_vertices", "n_edges", "rounds"),
+    "dag:prefixsum": ("n_values",),
 }
 
 
@@ -164,6 +200,40 @@ def run_service_regress(baseline_path: str = SERVICE_JSON_PATH,
     }
 
 
+def run_dag_regress(baseline_path: str = DAG_JSON_PATH,
+                    tolerances: Optional[Dict[str, Any]] = None,
+                    costs: HostCosts = DEFAULT_HOST_COSTS) -> Dict[str, Any]:
+    """Re-run every recorded DAG/iterative point and diff it.
+
+    Each baseline point records its own shape (point/edge/value counts
+    and the round budget), so the replay reproduces the identical run;
+    everything else (seeds, cluster, scheduler) is pinned inside
+    :mod:`repro.bench.dag`.
+    """
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    points = baseline["points"]
+    if not points:
+        raise ValueError(f"{baseline_path} records no dag points")
+    rows: List[Dict[str, Any]] = []
+    for recorded in points:
+        app = recorded["app"]
+        if app not in _DAG_SHAPE_KEYS:
+            raise ValueError(f"{baseline_path}: unknown dag point {app!r}")
+        shape = {key: recorded[key] for key in _DAG_SHAPE_KEYS[app]}
+        measured = dag_point(app, costs=costs, **shape)
+        tols = {**(tolerances or DAG_TOLERANCES),
+                **_DAG_EXTRA_TOLERANCES[app]}
+        rows.extend(compare_point(recorded, measured, tols))
+    return {
+        "baseline_path": baseline_path,
+        "points": len(points),
+        "comparisons": rows,
+        "failures": [r for r in rows if not r["ok"]],
+        "ok": all(r["ok"] for r in rows),
+    }
+
+
 def _print_table(result: Dict[str, Any], out=None) -> None:
     out = out if out is not None else sys.stdout
     header = (f"{'app':<18} {'nodes':>5} {'metric':<21} {'baseline':>14} "
@@ -215,7 +285,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="service-replay baseline to gate (default: "
                              f"{SERVICE_JSON_PATH} when present)")
     parser.add_argument("--skip-service", action="store_true",
-                        help="replay only the scaling baseline")
+                        help="skip the multi-job service replay")
+    parser.add_argument("--dag-baseline", default=None, metavar="FILE",
+                        help="DAG/iterative baseline to gate (default: "
+                             f"{DAG_JSON_PATH} when present)")
+    parser.add_argument("--skip-dag", action="store_true",
+                        help="skip the DAG/iterative replay")
     args = parser.parse_args(argv)
 
     tolerances = dict(DEFAULT_TOLERANCES)
@@ -254,17 +329,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print()
             _print_table(service_result)
 
+    dag_result = None
+    if not args.skip_dag:
+        import os
+        dag_baseline = args.dag_baseline or DAG_JSON_PATH
+        if args.dag_baseline is None and not os.path.exists(dag_baseline):
+            print(f"(no {dag_baseline}; dag replay skipped)")
+        else:
+            try:
+                dag_result = run_dag_regress(dag_baseline)
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"regress: {exc}", file=sys.stderr)
+                return 2
+            print()
+            _print_table(dag_result)
+
     if args.json:
         from repro.obs.telemetry import ensure_parent_dir
         ensure_parent_dir(args.json)
         payload = dict(result)
-        if service_result is not None:
-            payload = {"scaling": result, "service": service_result,
-                       "ok": result["ok"] and service_result["ok"]}
+        if service_result is not None or dag_result is not None:
+            payload = {"scaling": result,
+                       "ok": result["ok"]
+                       and (service_result is None or service_result["ok"])
+                       and (dag_result is None or dag_result["ok"])}
+            if service_result is not None:
+                payload["service"] = service_result
+            if dag_result is not None:
+                payload["dag"] = dag_result
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
-    ok = result["ok"] and (service_result is None or service_result["ok"])
+    ok = result["ok"] \
+        and (service_result is None or service_result["ok"]) \
+        and (dag_result is None or dag_result["ok"])
     return 0 if ok else 1
 
 

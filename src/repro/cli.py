@@ -19,6 +19,12 @@ Observability (traces and reports)::
     python -m repro terasort --report-json report.json --explain
     python -m repro wordcount --metrics-interval 0.01 --metrics-out m.om
 
+Iterative / multi-round execution (:mod:`repro.dag`)::
+
+    python -m repro kmeans --iterations 8 --tolerance 1e-3
+    python -m repro dag pagerank --vertices 2000 --rounds 5
+    python -m repro dag prefixsum --values 100000 --block 4096
+
 The multi-job service (:mod:`repro.service`) has its own entry point::
 
     python -m repro serve --jobs 60 --max-running 4
@@ -41,7 +47,7 @@ from repro.hw.presets import GBE, QDR_IB, das4_cluster
 from repro.hw.specs import DeviceKind, MiB
 from repro.storage.records import NO_COMPRESSION
 
-__all__ = ["main", "serve_main"]
+__all__ = ["main", "serve_main", "dag_main"]
 
 APPS = ("wordcount", "pageview", "terasort", "kmeans", "matmul")
 
@@ -72,6 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="observations for kmeans")
     parser.add_argument("--centers", type=int, default=256,
                         help="centers for kmeans")
+    parser.add_argument("--iterations", type=int, default=1,
+                        help="Lloyd iterations for kmeans: 1 (default) "
+                             "runs the paper's single-iteration job; more "
+                             "runs the iterative driver on the DAG engine "
+                             "with the point file cached across rounds")
+    parser.add_argument("--tolerance", type=float, default=1e-3,
+                        help="kmeans convergence threshold on the max "
+                             "center shift (used with --iterations > 1)")
     parser.add_argument("--matrix", type=int, default=1024,
                         help="matrix size for matmul (tile = matrix/4)")
     parser.add_argument("--chunk-kb", type=int, default=256)
@@ -353,16 +367,194 @@ def serve_main(argv=None) -> int:
     return 0
 
 
+def _kmeans_iterative_main(args, app, inputs, config) -> int:
+    """``repro kmeans --iterations N`` (N > 1): the DAG-backed driver."""
+    from repro.apps.drivers import kmeans_iterate
+    n_splits = max(1, -(-sum(len(v) for v in inputs.values())
+                        // config.chunk_size))
+    try:
+        faults = make_faults(args, n_splits_hint=n_splits)
+    except ValueError as exc:
+        raise SystemExit(f"invalid fault schedule: {exc}")
+    if faults is not None:
+        raise SystemExit(
+            "fault injection flags apply to the single-iteration job; "
+            "drop them or use --iterations 1")
+    needs_gpu = (args.device == "gpu"
+                 or (config.devices is not None
+                     and DeviceKind.GPU in config.devices))
+    cluster = das4_cluster(nodes=args.nodes, gpu=needs_gpu,
+                           network=QDR_IB if args.network == "ib" else GBE)
+    run = kmeans_iterate(inputs, app.centers, cluster, config,
+                         max_iterations=args.iterations,
+                         tolerance=args.tolerance, engine="dag")
+    print(f"kmeans-iterative on {args.nodes} node(s), "
+          f"{args.device.upper()} kernels, {args.storage} storage: "
+          f"{run.iterations} iteration(s), "
+          f"{'converged' if run.converged else 'budget exhausted'} "
+          f"(tolerance {run.tolerance:g})")
+    for i, (result, shift) in enumerate(zip(run.results, run.shifts), 1):
+        orphans = run.orphaned[i - 1]
+        extra = f", orphaned centers {orphans}" if orphans else ""
+        print(f"  round {i:<3} {result.job_time:10.4f} s   "
+              f"shift {shift:12.6g}{extra}")
+    print(f"  total time   {run.total_time:10.4f} s")
+    cache = run.cache
+    print(f"  input cache  {cache['hit_bytes']} B from cache, "
+          f"{cache['miss_bytes']} B from storage "
+          f"({100.0 * cache['hit_rate_bytes']:.1f}% hit rate)")
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+        timeline = run.runner.session.timeline
+        print(f"  trace written to "
+              f"{write_chrome_trace(timeline, args.trace_out)}")
+    if args.report_json:
+        import json
+
+        from repro.obs import ensure_parent_dir
+        report = {
+            "schema": "glasswing-dag-report/1",
+            "dag": "kmeans",
+            "iterations": run.iterations,
+            "converged": run.converged,
+            "tolerance": run.tolerance,
+            "shifts": run.shifts,
+            "orphaned": run.orphaned,
+            "total_time": run.total_time,
+            "rounds": [sr.section() for sr in run.runner.stage_runs],
+            "cache": cache,
+        }
+        ensure_parent_dir(args.report_json)
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"  report written to {args.report_json}")
+    return 0
+
+
+DAG_APPS = ("pagerank", "prefixsum")
+
+
+def build_dag_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro dag",
+        description="Run a multi-round DAG application: chained "
+                    "MapReduce stages on one shared session with "
+                    "immutable inputs cached across rounds.")
+    parser.add_argument("app", choices=DAG_APPS)
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--network", choices=["ib", "gbe"], default="ib")
+    parser.add_argument("--storage", choices=["dfs", "local"], default="dfs")
+    parser.add_argument("--scheduler", choices=list(SCHEDULER_NAMES),
+                        default=None,
+                        help="placement policy (default: static-affinity, "
+                             "or $REPRO_SCHEDULER)")
+    parser.add_argument("--chunk-kb", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="power-iteration rounds for pagerank")
+    parser.add_argument("--vertices", type=int, default=2_000,
+                        help="graph vertices for pagerank")
+    parser.add_argument("--edges", type=int, default=16_000,
+                        help="graph edges for pagerank")
+    parser.add_argument("--damping", type=float, default=0.85,
+                        help="damping factor for pagerank")
+    parser.add_argument("--values", type=int, default=100_000,
+                        help="record count for prefixsum")
+    parser.add_argument("--block", type=int, default=4_096,
+                        help="scan block size for prefixsum")
+    obs = parser.add_argument_group("observability")
+    obs.add_argument("--trace-out", metavar="FILE.json", default=None,
+                     help="write the session Chrome trace (one lane per "
+                          "stage round)")
+    obs.add_argument("--report-json", metavar="FILE", default=None,
+                     help="write the DAG report (per-round sections) "
+                          "as JSON")
+    return parser
+
+
+def dag_main(argv=None) -> int:
+    """Entry point of ``python -m repro dag``."""
+    args = build_dag_parser().parse_args(argv)
+    if args.rounds < 1:
+        raise SystemExit("--rounds must be >= 1")
+    extra = {}
+    if args.scheduler is not None:
+        extra["scheduler"] = args.scheduler
+    config = JobConfig(chunk_size=args.chunk_kb * 1024,
+                       storage=args.storage, **extra)
+    cluster = das4_cluster(nodes=args.nodes,
+                           network=QDR_IB if args.network == "ib" else GBE)
+    if args.app == "pagerank":
+        from repro.apps.pagerank import pagerank_iterate
+        edges = datagen.pagerank_edges(args.vertices, args.edges,
+                                       seed=args.seed)
+        run = pagerank_iterate(edges, args.vertices, cluster, config=config,
+                               rounds=args.rounds, damping=args.damping)
+        runner = run.runner
+        print(f"pagerank on {args.nodes} node(s), {args.storage} storage: "
+              f"{args.vertices} vertices, {args.edges} edges, "
+              f"{run.rounds} round(s) + 1 degree round")
+        top = sorted(enumerate(run.ranks), key=lambda kv: -kv[1])[:5]
+        for vertex, rank in top:
+            print(f"  rank[{vertex}] = {rank:.6f}")
+        print("  per-round delta: "
+              + ", ".join(f"{d:.3g}" for d in run.deltas))
+        last_report = run.dag_results[-1].to_report()
+    else:
+        from repro.apps.prefixsum import prefix_sums
+        values = datagen.prefix_values(args.values, seed=args.seed)
+        run = prefix_sums(values, cluster, config=config,
+                          block_size=args.block)
+        runner = run.runner
+        print(f"prefixsum on {args.nodes} node(s), {args.storage} storage: "
+              f"{args.values} records, block {args.block} "
+              f"({len(run.block_sums)} blocks)")
+        print(f"  final prefix total {int(run.prefix[-1])}")
+        last_report = run.dag_result.to_report()
+    for sr in runner.stage_runs:
+        print(f"  {sr.label:<16} {sr.elapsed:10.4f} s   "
+              f"cache {sr.cache_hit_bytes}/"
+              f"{sr.cache_hit_bytes + sr.cache_miss_bytes} B")
+    print(f"  total time   {runner.total_time:10.4f} s")
+    cache = runner.cache_stats()
+    print(f"  input cache  {cache['hit_bytes']} B from cache, "
+          f"{cache['miss_bytes']} B from storage "
+          f"({100.0 * cache['hit_rate_bytes']:.1f}% hit rate)")
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+        print(f"  trace written to "
+              f"{write_chrome_trace(runner.session.timeline, args.trace_out)}")
+    if args.report_json:
+        import json
+
+        from repro.obs import ensure_parent_dir
+        report = dict(last_report)
+        report["rounds"] = [sr.section() for sr in runner.stage_runs]
+        report["total_time"] = runner.total_time
+        report["cache"] = cache
+        ensure_parent_dir(args.report_json)
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"  report written to {args.report_json}")
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         import sys
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "dag":
+        return dag_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.metrics_out and args.metrics_interval is None:
         raise SystemExit("--metrics-out requires --metrics-interval")
+    if args.iterations < 1:
+        raise SystemExit("--iterations must be >= 1")
     app, inputs, config = make_job(args)
+    if args.app == "kmeans" and args.iterations > 1:
+        return _kmeans_iterative_main(args, app, inputs, config)
     if args.speculate:
         config = config.with_(speculative_execution=True)
     n_splits = max(1, -(-sum(len(v) for v in inputs.values())

@@ -37,7 +37,7 @@ from repro.core.coordinator import ShuffleRegistry, make_splits
 from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts
 from repro.core.faults import ClusterHealth, FaultPlan, NodeCrash
 from repro.core.intermediate import IntermediateManager
-from repro.core.io import DFSBackend, make_backend
+from repro.core.io import DFSBackend, StorageBackend, make_backend
 from repro.core.map_phase import MapPhase
 from repro.core.metrics import JobMetrics
 from repro.core.recovery import SpeculationController, run_recovery
@@ -181,7 +181,9 @@ class JobExecution:
                  faults: Optional[FaultPlan] = None,
                  name: str = "glasswing-job",
                  exclusive: bool = False,
-                 timeline: Optional[Timeline] = None):
+                 timeline: Optional[Timeline] = None,
+                 backend: Optional[StorageBackend] = None,
+                 splits: Optional[List] = None):
         self.session = session
         self.app = app
         self.name = name
@@ -196,15 +198,26 @@ class JobExecution:
         n = len(cluster)
         self._box: Dict[str, Any] = {}
 
-        backend_kwargs = {}
-        if config.storage == "dfs":
-            backend_kwargs = dict(block_size=config.chunk_size,
-                                  replication=config.input_replication)
-        self.backend = backend = make_backend(config.storage, cluster,
-                                              **backend_kwargs)
-        for path, data in inputs.items():
-            backend.install(path, data)
-        backend.purge_caches()
+        if backend is None:
+            backend_kwargs = {}
+            if config.storage == "dfs":
+                backend_kwargs = dict(block_size=config.chunk_size,
+                                      replication=config.input_replication)
+            self.backend = backend = make_backend(config.storage, cluster,
+                                                  **backend_kwargs)
+            for path, data in inputs.items():
+                backend.install(path, data)
+            backend.purge_caches()
+        else:
+            # Session-lived backend shared by a *sequence* of jobs (the
+            # DAG/iterative path): inputs already installed in an earlier
+            # round stay put, and the caches are deliberately NOT purged —
+            # warm page caches and cache-aside entries across rounds are
+            # the point of sharing the backend.
+            self.backend = backend
+            for path, data in inputs.items():
+                if not backend.exists(path):
+                    backend.install(path, data)
 
         # Per-job fault-tolerance state: the health view gates storage
         # reads/writes and network deliveries; the registry is the
@@ -213,18 +226,22 @@ class JobExecution:
         if exclusive:
             cluster.network.health = health
         self.meter = TrafficMeter(timeline=timeline, health=health)
-        if isinstance(backend, DFSBackend):
-            backend.dfs.health = health
-            backend.dfs.meter = self.meter
+        # A cache-aside wrapper (repro.storage.cache) exposes the real
+        # backend as ``.base``; the DFS wiring must reach through it.
+        base_backend = getattr(backend, "base", backend)
+        if isinstance(base_backend, DFSBackend):
+            base_backend.dfs.health = health
+            base_backend.dfs.meter = self.meter
         self.registry = registry = ShuffleRegistry(
             n, config.partitions_per_node)
 
-        record_size = (app.record_format.record_size
-                       if isinstance(app.record_format, FixedRecordFormat)
-                       else None)
-        self.splits = splits = make_splits(backend, sorted(inputs),
-                                           config.chunk_size,
-                                           record_size=record_size)
+        if splits is None:
+            record_size = (app.record_format.record_size
+                           if isinstance(app.record_format, FixedRecordFormat)
+                           else None)
+            splits = make_splits(backend, sorted(inputs), config.chunk_size,
+                                 record_size=record_size)
+        self.splits = splits
         self.scheduler = scheduler = make_scheduler(
             config.scheduler, sim=sim, timeline=timeline)
         scheduler.plan(splits, backend, n)

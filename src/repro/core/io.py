@@ -41,8 +41,18 @@ class StorageBackend:
         (node-local storage has every byte everywhere)."""
         raise NotImplementedError
 
+    def exists(self, path: str) -> bool:
+        """True when ``path`` is already installed (long-lived backends
+        shared across jobs skip re-installation of unchanged inputs)."""
+        raise NotImplementedError
+
     def install(self, path: str, data: bytes) -> None:
         """Place input data with zero simulated time."""
+        raise NotImplementedError
+
+    def remove(self, path: str) -> None:
+        """Delete ``path`` with zero simulated time (the DAG runner
+        replaces a mutated input by remove + install)."""
         raise NotImplementedError
 
     def purge_caches(self) -> None:
@@ -97,6 +107,12 @@ class DFSBackend(StorageBackend):
         """Block locations for the affinity scheduler."""
         return self.dfs.block_locations(path)
 
+    def exists(self, path: str) -> bool:
+        return self.dfs.exists(path)
+
+    def remove(self, path: str) -> None:
+        self.dfs.delete(path)
+
     def install(self, path: str, data: bytes) -> None:
         """Zero-time block placement mirroring :meth:`DFS.create`."""
         if self.dfs.exists(path):
@@ -147,6 +163,14 @@ class LocalBackend(StorageBackend):
     def locations(self, path: str) -> Optional[List[BlockLocation]]:
         """No locality information: every byte is everywhere."""
         return None
+
+    def exists(self, path: str) -> bool:
+        return self.node_fs[0].exists(path)
+
+    def remove(self, path: str) -> None:
+        for fs in self.node_fs:
+            if fs.exists(path):
+                fs.delete(path)
 
     def install(self, path: str, data: bytes) -> None:
         blob = data if isinstance(data, bytes) else bytes(data)

@@ -1,0 +1,19 @@
+"""Declarative DAG-of-stages execution with cross-round input caching.
+
+The paper runs K-Means for one iteration while admitting "KM is an
+iterative algorithm"; the MRC line of work (Goodrich et al.) shows the
+interesting workload space is inherently multi-round.  This package is
+the multi-round engine: a :class:`~repro.dag.graph.DAG` declares
+datasets, chained MapReduce stages, broadcast state and fan-in joins;
+a :class:`~repro.dag.runner.DagRunner` compiles each round to
+non-exclusive :class:`~repro.core.engine.JobExecution`\\ s on one shared
+:class:`~repro.core.engine.ClusterSession`, with immutable inputs
+served from a :class:`~repro.storage.cache.CacheAsideBackend` after the
+first round.  See ``docs/dag.md``.
+"""
+
+from repro.dag.graph import DAG, DagError, Dataset, Stage, StageOutput
+from repro.dag.runner import DagResult, DagRunner, StageRun
+
+__all__ = ["DAG", "DagError", "Dataset", "Stage", "StageOutput",
+           "DagResult", "DagRunner", "StageRun"]

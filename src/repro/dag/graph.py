@@ -1,0 +1,220 @@
+"""The declarative DAG-of-stages graph (validation and topological order).
+
+A :class:`DAG` names input datasets and MapReduce stages; edges come
+from two places:
+
+* **data edges** — a stage input that is a :class:`StageOutput` consumes
+  an upstream stage's reduced output, materialised to a file (fan-in
+  join);
+* **broadcast edges** — small per-round state (k-means centers, prefix
+  offsets) published by an upstream stage's ``publish`` hook and read by
+  a downstream stage's app factory.  Broadcast ordering follows the data
+  edges plus declaration order (``after=``) when no data edge exists.
+
+The graph is *pure structure*: nothing simulated happens until a
+:class:`~repro.dag.runner.DagRunner` compiles it to a sequence of
+:class:`~repro.core.engine.JobExecution`\\ s on one shared session.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.api import MapReduceApp
+from repro.core.config import JobConfig
+
+__all__ = ["DAG", "Dataset", "Stage", "StageOutput", "DagError"]
+
+
+class DagError(ValueError):
+    """Structural problem in a DAG: unknown reference, duplicate name,
+    or a cycle."""
+
+
+class Dataset:
+    """A named input file.
+
+    ``immutable=True`` (the default) declares the content fixed across
+    rounds: the runner pins the path in the cache-aside layer so split
+    reads are served from RAM after the first round.  A mutable dataset
+    is re-checked every round (fingerprint) and never cached.
+    """
+
+    def __init__(self, path: str, data: bytes, immutable: bool = True):
+        if not path:
+            raise DagError("dataset path must be non-empty")
+        self.path = path
+        self.data = data
+        self.immutable = immutable
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "immutable" if self.immutable else "mutable"
+        return f"<Dataset {self.path} ({len(self.data)}B, {kind})>"
+
+
+class StageOutput:
+    """Fan-in reference: a downstream stage reads an upstream stage's
+    reduced output as a file.
+
+    ``encode`` turns the upstream's sorted output pairs into the bytes
+    the downstream app reads (the app defines its own record format, so
+    the join owns the encoding).  The materialised file is mutable by
+    construction — its content changes whenever the upstream re-runs —
+    so it is fingerprinted, never pinned.
+    """
+
+    def __init__(self, stage: str,
+                 encode: Callable[[List[Tuple[Any, Any]]], bytes],
+                 path: Optional[str] = None):
+        self.stage = stage
+        self.encode = encode
+        self.path = path or f"{stage}.out"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StageOutput {self.stage} -> {self.path}>"
+
+
+StageInput = Union[str, StageOutput]
+AppSource = Union[MapReduceApp, Callable[[Dict[str, Any]], MapReduceApp]]
+
+
+class Stage:
+    """One MapReduce job template inside the DAG.
+
+    ``app`` is either a ready :class:`MapReduceApp` or a factory called
+    with the current broadcast dict each round — iterative apps rebuild
+    themselves around the fresh per-round state (e.g. new centers).
+    ``publish`` maps the stage's sorted output pairs to a dict merged
+    into the broadcast for downstream stages (and returned to the
+    caller).  ``after`` adds broadcast-only ordering edges to stages the
+    data edges do not already imply.
+    """
+
+    def __init__(self, name: str, app: AppSource,
+                 inputs: Sequence[StageInput],
+                 config: Optional[JobConfig] = None,
+                 publish: Optional[
+                     Callable[[List[Tuple[Any, Any]]], Dict[str, Any]]] = None,
+                 after: Sequence[str] = ()):
+        if not name:
+            raise DagError("stage name must be non-empty")
+        if not isinstance(app, MapReduceApp) and not callable(app):
+            raise DagError(
+                f"stage {name!r}: app must be a MapReduceApp or a "
+                "factory callable(broadcast) -> MapReduceApp")
+        if not inputs:
+            raise DagError(f"stage {name!r} has no inputs")
+        for ref in inputs:
+            if not isinstance(ref, (str, StageOutput)):
+                raise DagError(
+                    f"stage {name!r}: inputs must be dataset paths or "
+                    f"StageOutput references, got {ref!r}")
+        self.name = name
+        self.app = app
+        self.inputs = tuple(inputs)
+        self.config = config
+        self.publish = publish
+        self.after = tuple(after)
+
+    def make_app(self, broadcast: Dict[str, Any]) -> MapReduceApp:
+        """The concrete app for this round."""
+        if isinstance(self.app, MapReduceApp):
+            return self.app
+        app = self.app(broadcast)
+        if not isinstance(app, MapReduceApp):
+            raise DagError(
+                f"stage {self.name!r}: app factory returned "
+                f"{type(app).__name__}, not a MapReduceApp")
+        return app
+
+    def upstream(self) -> List[str]:
+        """Names of stages this one depends on (data + ordering edges)."""
+        deps = [ref.stage for ref in self.inputs
+                if isinstance(ref, StageOutput)]
+        deps.extend(self.after)
+        return deps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Stage {self.name} inputs={[str(i) for i in self.inputs]}>"
+
+
+class DAG:
+    """A named collection of datasets and stages with validated edges."""
+
+    def __init__(self, name: str = "dag"):
+        self.name = name
+        self.datasets: Dict[str, Dataset] = {}
+        self.stages: Dict[str, Stage] = {}
+        self._order: List[str] = []          # declaration order
+
+    # -- construction ------------------------------------------------------
+    def add_input(self, path: str, data: bytes,
+                  immutable: bool = True) -> Dataset:
+        if path in self.datasets:
+            raise DagError(f"duplicate dataset {path!r}")
+        ds = Dataset(path, data, immutable=immutable)
+        self.datasets[path] = ds
+        return ds
+
+    def add_stage(self, name: str, app: AppSource,
+                  inputs: Sequence[StageInput],
+                  config: Optional[JobConfig] = None,
+                  publish: Optional[
+                      Callable[[List[Tuple[Any, Any]]], Dict[str, Any]]] = None,
+                  after: Sequence[str] = ()) -> Stage:
+        if name in self.stages:
+            raise DagError(f"duplicate stage {name!r}")
+        stage = Stage(name, app, inputs, config=config, publish=publish,
+                      after=after)
+        self.stages[name] = stage
+        self._order.append(name)
+        return stage
+
+    # -- validation / ordering ---------------------------------------------
+    def toposort(self) -> List[Stage]:
+        """Stages in executable order; raises :class:`DagError` on unknown
+        references or cycles.  Ties (no edge between two stages) break by
+        declaration order, so execution is deterministic."""
+        if not self.stages:
+            raise DagError(f"DAG {self.name!r} has no stages")
+        for stage in self.stages.values():
+            for ref in stage.inputs:
+                if isinstance(ref, str):
+                    if ref not in self.datasets:
+                        raise DagError(
+                            f"stage {stage.name!r} reads unknown dataset "
+                            f"{ref!r}")
+                else:
+                    if ref.stage not in self.stages:
+                        raise DagError(
+                            f"stage {stage.name!r} joins unknown stage "
+                            f"{ref.stage!r}")
+                    if ref.path in self.datasets:
+                        raise DagError(
+                            f"stage output path {ref.path!r} collides "
+                            "with a dataset")
+            for dep in stage.after:
+                if dep not in self.stages:
+                    raise DagError(
+                        f"stage {stage.name!r} ordered after unknown "
+                        f"stage {dep!r}")
+
+        # Kahn's algorithm with declaration-order tie-breaking (n is
+        # small, so the quadratic first-ready scan is fine).
+        deps: Dict[str, set] = {}
+        for stage in self.stages.values():
+            up = set(stage.upstream())
+            if stage.name in up:
+                raise DagError(f"stage {stage.name!r} depends on itself")
+            deps[stage.name] = up
+        done: set = set()
+        out: List[Stage] = []
+        while len(out) < len(self.stages):
+            name = next((n for n in self._order
+                         if n not in done and deps[n] <= done), None)
+            if name is None:
+                stuck = sorted(n for n in self._order if n not in done)
+                raise DagError(f"cycle through stages {stuck}")
+            done.add(name)
+            out.append(self.stages[name])
+        return out

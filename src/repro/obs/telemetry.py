@@ -301,6 +301,18 @@ class Telemetry:
             self._started = True
             self.sim.process(self._run(), name="telemetry.sampler")
 
+    def resume(self) -> None:
+        """Respawn the sampler after the event heap drained.
+
+        The sampler self-terminates when nothing else is pending (see
+        :meth:`_run`), which on a multi-round session happens at the end
+        of every round.  The DAG runner calls this before re-running the
+        simulator so later rounds keep sampling; a never-started or
+        stopped hub is a no-op.
+        """
+        if self._started and not self._stopped:
+            self.sim.process(self._run(), name="telemetry.sampler")
+
     def stop(self) -> None:
         """End sampling; takes one final snapshot at the current time."""
         self._stopped = True

@@ -1,0 +1,167 @@
+"""Cache-aside read caching over a :class:`~repro.core.io.StorageBackend`.
+
+The DAG engine (:mod:`repro.dag`) runs many MapReduce rounds on one
+long-lived cluster session, and iterative workloads (K-Means, PageRank)
+re-read the *same immutable input* every round.  A fresh job pays the
+full storage path per read — disk (or remote-replica network transfer)
+plus, on DFS, the libhdfs JNI boundary.  This module implements the
+cache-aside pattern over the storage layer: the first read of a declared
+immutable range goes through the backend as usual and the returned bytes
+are kept in an application-level RAM cache; subsequent reads of the same
+range *by the same node* are served from that cache at zero simulated
+cost (an in-process memory lookup crosses no disk, network or JNI
+boundary).
+
+Cost accounting stays byte-accurate:
+
+* only **pinned** paths (declared immutable by the DAG) are ever cached —
+  reads of mutable paths always reach the backend;
+* the cache key includes the reading node, so a node never skips the
+  remote-transfer cost of a range it has not itself paid for;
+* hit/miss byte counters record exactly what was served from where, and
+  :meth:`CacheAsideBackend.stats` exposes them for reports and benches.
+
+Invalidation rules (see ``docs/dag.md``): re-installing a path with
+different content drops its cached ranges, as does :meth:`invalidate`;
+an LRU bound (``capacity_bytes``) evicts the coldest ranges first.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.storage.dfs import BlockLocation
+
+from repro.core.io import StorageBackend
+
+__all__ = ["CacheAsideBackend"]
+
+#: cache key: (reading node, path, offset, length)
+_Key = Tuple[int, str, int, int]
+
+
+class CacheAsideBackend(StorageBackend):
+    """Cache-aside wrapper: immutable split reads are served from RAM.
+
+    ``base`` is the real backend (DFS or node-local); ``capacity_bytes``
+    bounds the cache (LRU eviction), ``None`` leaves it unbounded —
+    adequate for the laptop-scale inputs this repository simulates, and
+    the knob is there when a workload needs a budget.
+    """
+
+    def __init__(self, base: StorageBackend,
+                 capacity_bytes: Optional[int] = None):
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise ValueError("capacity_bytes must be positive (or None)")
+        self.base = base
+        self.capacity_bytes = capacity_bytes
+        self._pinned: Set[str] = set()
+        self._entries: "OrderedDict[_Key, bytes]" = OrderedDict()
+        self._cached_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.hit_bytes = 0
+        self.miss_bytes = 0
+        self.evictions = 0
+
+    # -- immutability declarations -----------------------------------------
+    def pin(self, path: str) -> None:
+        """Declare ``path`` immutable: its reads may be cached."""
+        self._pinned.add(path)
+
+    def pinned(self, path: str) -> bool:
+        return path in self._pinned
+
+    def invalidate(self, path: str) -> None:
+        """Drop every cached range of ``path`` (content changed)."""
+        stale = [key for key in self._entries if key[1] == path]
+        for key in stale:
+            self._cached_bytes -= len(self._entries.pop(key))
+
+    # -- the cached read path ----------------------------------------------
+    def read(self, node_id: int, path: str, offset: int,
+             length: int) -> Generator:
+        """Serve a pinned, previously read range from RAM; else delegate.
+
+        A hit returns the bytes with **zero simulated time**: the data is
+        already in the reading node's memory, so no disk, network or JNI
+        cost applies.  A miss pays the full backend path and (for pinned
+        paths) populates the cache.
+        """
+        key = (node_id, path, offset, length)
+        if path in self._pinned:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                self.hit_bytes += len(cached)
+                return cached
+        data = yield from self.base.read(node_id, path, offset, length)
+        self.misses += 1
+        self.miss_bytes += len(data)
+        if path in self._pinned:
+            self._insert(key, data)
+        return data
+
+    def _insert(self, key: _Key, data: bytes) -> None:
+        if self.capacity_bytes is not None and len(data) > self.capacity_bytes:
+            return    # a range larger than the whole budget never caches
+        self._entries[key] = data
+        self._cached_bytes += len(data)
+        if self.capacity_bytes is None:
+            return
+        while self._cached_bytes > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._cached_bytes -= len(evicted)
+            self.evictions += 1
+
+    # -- accounting ---------------------------------------------------------
+    @property
+    def cached_bytes(self) -> int:
+        """Bytes currently resident in the cache."""
+        return self._cached_bytes
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-friendly counters for reports and benches."""
+        total = self.hit_bytes + self.miss_bytes
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_bytes": self.hit_bytes,
+            "miss_bytes": self.miss_bytes,
+            "hit_rate_bytes": (self.hit_bytes / total) if total else 0.0,
+            "cached_bytes": self._cached_bytes,
+            "evictions": self.evictions,
+            "pinned_paths": sorted(self._pinned),
+        }
+
+    # -- delegation ---------------------------------------------------------
+    def write_chunk(self, node_id: int, nbytes: int,
+                    replication: int) -> Generator:
+        """Output writes are never cached; delegate at full cost."""
+        yield from self.base.write_chunk(node_id, nbytes, replication)
+
+    def size(self, path: str) -> int:
+        return self.base.size(path)
+
+    def locations(self, path: str) -> Optional[List[BlockLocation]]:
+        return self.base.locations(path)
+
+    def exists(self, path: str) -> bool:
+        return self.base.exists(path)
+
+    def install(self, path: str, data: bytes) -> None:
+        """Install through the base backend, dropping stale cached ranges."""
+        self.base.install(path, data)
+        self.invalidate(path)
+
+    def remove(self, path: str) -> None:
+        self.base.remove(path)
+        self.invalidate(path)
+
+    def purge_caches(self) -> None:
+        """Purge the *page* caches only: the cache-aside entries model an
+        application-held buffer, not the OS page cache the paper's
+        pre-test ritual drops."""
+        self.base.purge_caches()

@@ -1,0 +1,145 @@
+"""Unit tests of the iterative k-means driver's correctness fixes:
+tolerance-aware convergence, center validation, orphan tracking."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datagen import kmeans_points
+from repro.apps.drivers import KMeansRun, _validate_centers, kmeans_iterate
+from repro.core import JobConfig
+from repro.hw.presets import das4_cluster
+
+
+def separable_inputs():
+    """Two tight blobs far apart: converges in very few iterations."""
+    rng = np.random.default_rng(51)
+    a = rng.normal((0.0, 0.0), 0.1, size=(300, 2))
+    b = rng.normal((50.0, 50.0), 0.1, size=(300, 2))
+    return {"points": np.vstack([a, b]).astype(np.float32).tobytes()}
+
+
+def run(tolerance, max_iterations=8, centers=None, engine="dag"):
+    if centers is None:
+        centers = np.array([[1.0, 1.0], [40.0, 40.0]], dtype=np.float32)
+    return kmeans_iterate(separable_inputs(), centers,
+                          das4_cluster(nodes=2),
+                          JobConfig(chunk_size=4 * 1024, storage="local"),
+                          max_iterations=max_iterations,
+                          tolerance=tolerance, engine=engine)
+
+
+# -- satellite 1: converged respects the run's own tolerance ---------------
+
+def test_converged_uses_run_tolerance_not_hardcoded_epsilon():
+    result = run(tolerance=1e-2)
+    assert result.tolerance == 1e-2
+    assert result.converged
+    assert result.iterations < 8
+    assert result.shifts[-1] < 1e-2
+
+
+def test_converged_compares_against_the_runs_own_tolerance():
+    # The fixed bug: `converged` used a hard-coded 1e-9 epsilon, so a
+    # run that stopped at its (much looser) tolerance reported False.
+    base = dict(centers=np.zeros((1, 1), dtype=np.float32),
+                iterations=1, results=[], shifts=[5e-3])
+    assert KMeansRun(tolerance=1e-2, **base).converged
+    assert not KMeansRun(tolerance=1e-4, **base).converged
+    assert not KMeansRun(tolerance=1e-9, **base).converged
+
+
+def test_budget_exhaustion_is_not_convergence():
+    result = run(tolerance=0.0, max_iterations=2)
+    assert result.iterations == 2
+    assert not result.converged
+
+
+def test_converged_empty_run_false():
+    assert not KMeansRun(centers=np.zeros((1, 1), dtype=np.float32),
+                         iterations=0, shifts=[], results=[]).converged
+
+
+# -- satellite 1/3: validation up front ------------------------------------
+
+def test_zero_iterations_rejected_before_touching_inputs():
+    with pytest.raises(ValueError, match="max_iterations"):
+        kmeans_iterate({}, np.zeros((2, 2)), das4_cluster(nodes=1),
+                       max_iterations=0)
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="unknown engine"):
+        run(tolerance=0.0, engine="quantum")
+
+
+# -- satellite 2: shape/dtype validation, no silent clamp ------------------
+
+def test_centers_must_be_2d():
+    with pytest.raises(ValueError, match=r"\(k, dims\)"):
+        _validate_centers(np.zeros(4))
+    with pytest.raises(ValueError, match=r"\(k, dims\)"):
+        _validate_centers(np.zeros((2, 2, 2)))
+
+
+def test_centers_must_be_nonempty():
+    with pytest.raises(ValueError, match="non-empty"):
+        _validate_centers(np.zeros((0, 3)))
+    with pytest.raises(ValueError, match="non-empty"):
+        _validate_centers(np.zeros((3, 0)))
+
+
+def test_centers_dtype_must_be_real_numeric():
+    with pytest.raises(TypeError, match="real-numeric"):
+        _validate_centers(np.zeros((2, 2), dtype=np.complex128))
+    with pytest.raises(TypeError, match="real-numeric"):
+        _validate_centers(np.array([["a", "b"]], dtype=object))
+
+
+def test_centers_converted_to_float32_without_mutating_caller():
+    original = np.array([[1.5, 2.5]], dtype=np.float64)
+    validated = _validate_centers(original)
+    assert validated.dtype == np.float32
+    validated[0, 0] = 99.0
+    assert original[0, 0] == 1.5  # the driver works on a copy
+
+
+# -- satellite 2: orphaned centers recorded per iteration ------------------
+
+@pytest.mark.parametrize("engine", ["dag", "resubmit"])
+def test_orphaned_center_ids_recorded_and_position_kept(engine):
+    # The third center sits 1e6 away from every point: never wins one.
+    centers = np.array([[1.0, 1.0], [40.0, 40.0], [1e6, 1e6]],
+                       dtype=np.float32)
+    result = run(tolerance=0.0, max_iterations=3, centers=centers,
+                 engine=engine)
+    assert len(result.orphaned) == result.iterations
+    assert all(orphans == [2] for orphans in result.orphaned)
+    assert result.centers[2].tolist() == [1e6, 1e6]
+
+
+def test_no_orphans_on_well_placed_centers():
+    result = run(tolerance=0.0, max_iterations=2)
+    assert result.orphaned == [[], []]
+
+
+# -- engine metadata --------------------------------------------------------
+
+def test_run_records_engine_and_cache():
+    dag_run = run(tolerance=0.0, max_iterations=2, engine="dag")
+    naive = run(tolerance=0.0, max_iterations=2, engine="resubmit")
+    assert dag_run.engine == "dag" and dag_run.runner is not None
+    assert naive.engine == "resubmit" and naive.runner is None
+    assert dag_run.cache["misses"] > 0
+
+
+def test_real_datagen_points_converge():
+    inputs = {"points": kmeans_points(3_000, 3, seed=55)}
+    centers = np.array(np.random.default_rng(56).random((4, 3)) * 100,
+                       dtype=np.float32)
+    result = kmeans_iterate(inputs, centers, das4_cluster(nodes=2),
+                            JobConfig(chunk_size=16 * 1024,
+                                      storage="local"),
+                            max_iterations=15, tolerance=1.0)
+    assert result.converged
+    assert result.iterations < 15
+    assert result.shifts[-1] < 1.0

@@ -1,0 +1,115 @@
+"""The two multi-round MRC apps against their dense references."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datagen import pagerank_edges, prefix_values
+from repro.apps.pagerank import (PageRankContribApp, pagerank_iterate,
+                                 pagerank_reference)
+from repro.apps.prefixsum import PrefixBlockSumApp, PrefixScanApp, prefix_sums
+from repro.core import JobConfig
+from repro.dag import DagRunner
+from repro.hw.presets import das4_cluster
+
+
+def config():
+    return JobConfig(chunk_size=8 * 1024, storage="local",
+                     scheduler="static-affinity")
+
+
+def reference_scan(values):
+    rows = np.frombuffer(values, dtype="<i8").reshape(-1, 2)
+    return np.cumsum(rows[np.argsort(rows[:, 0], kind="stable"), 1])
+
+
+def test_prefix_sums_bit_exact():
+    values = prefix_values(5_000, seed=3)
+    run = prefix_sums(values, das4_cluster(nodes=2), config=config(),
+                      block_size=512)
+    assert (run.prefix == reference_scan(values)).all()
+    assert run.total_time > 0
+
+
+def test_prefix_sums_block_sums_published():
+    values = prefix_values(2_000, seed=4)
+    run = prefix_sums(values, das4_cluster(nodes=2), config=config(),
+                      block_size=256)
+    rows = np.frombuffer(values, dtype="<i8").reshape(-1, 2)
+    for block, total in run.block_sums.items():
+        mask = rows[:, 0] // 256 == block
+        assert total == int(rows[mask, 1].sum())
+
+
+def test_prefix_sums_rejects_ragged_blob():
+    with pytest.raises(ValueError, match="multiple of 16"):
+        prefix_sums(b"12345", das4_cluster(nodes=1))
+
+
+def test_prefix_apps_validate_block_size():
+    with pytest.raises(ValueError):
+        PrefixBlockSumApp(0)
+    with pytest.raises(ValueError):
+        PrefixScanApp({}, 0)
+
+
+def test_prefix_sums_shared_runner_reuses_cache():
+    values = prefix_values(2_000, seed=6)
+    runner = DagRunner(das4_cluster(nodes=2), config=config())
+    first = prefix_sums(values, das4_cluster(nodes=2), runner=runner)
+    second = prefix_sums(values, das4_cluster(nodes=2), runner=runner)
+    assert (first.prefix == second.prefix).all()
+    stats = runner.cache_stats()
+    assert stats["hit_bytes"] > 0
+    # The second DAG's stages re-read the identical pinned input: the
+    # only misses are the two stage-one reads of round one.
+    assert second.dag_result.stage_runs[0].cache_miss_bytes == 0
+
+
+def test_pagerank_matches_dense_power_iteration():
+    edges = pagerank_edges(400, 2_400, seed=9)
+    run = pagerank_iterate(edges, 400, das4_cluster(nodes=2),
+                           config=config(), rounds=4)
+    want = pagerank_reference(edges, 400, rounds=4)
+    assert np.max(np.abs(run.ranks - want)) < 1e-9
+    assert np.isclose(run.ranks.sum(), 1.0, atol=1e-6)
+    assert len(run.deltas) == 4
+    assert run.deltas == sorted(run.deltas, reverse=True)  # contraction
+
+
+def test_pagerank_degree_job_runs_once():
+    edges = pagerank_edges(200, 1_000, seed=10)
+    run = pagerank_iterate(edges, 200, das4_cluster(nodes=2),
+                           config=config(), rounds=3)
+    labels = [r.label for r in run.runner.stage_runs]
+    assert labels == ["degrees@r1", "contrib@r2", "contrib@r3", "contrib@r4"]
+    rows = np.frombuffer(edges, dtype="<i4").reshape(-1, 2)
+    for vertex, degree in run.degrees.items():
+        assert degree == int((rows[:, 0] == vertex).sum())
+
+
+def test_pagerank_validates_inputs():
+    edges = pagerank_edges(50, 200, seed=11)
+    with pytest.raises(ValueError, match="rounds"):
+        pagerank_iterate(edges, 50, das4_cluster(nodes=1), rounds=0)
+    with pytest.raises(ValueError, match="multiple of 8"):
+        pagerank_iterate(b"123", 50, das4_cluster(nodes=1))
+
+
+def test_contrib_app_validates_broadcast_state():
+    with pytest.raises(ValueError, match="1-D"):
+        PageRankContribApp(np.zeros((2, 2)), {})
+    with pytest.raises(ValueError, match="non-empty"):
+        PageRankContribApp(np.zeros(0), {})
+    with pytest.raises(ValueError, match="damping"):
+        PageRankContribApp(np.ones(4) / 4, {}, damping=1.5)
+
+
+def test_datagen_generators_validate():
+    with pytest.raises(ValueError, match="out-edge"):
+        pagerank_edges(100, 50)
+    rows = np.frombuffer(prefix_values(64, seed=1),
+                         dtype="<i8").reshape(-1, 2)
+    assert sorted(rows[:, 0].tolist()) == list(range(64))
+    edges = np.frombuffer(pagerank_edges(32, 64, seed=2),
+                          dtype="<i4").reshape(-1, 2)
+    assert set(edges[:, 0].tolist()) == set(range(32))  # every src covered

@@ -1,0 +1,66 @@
+"""DAG engine vs naive re-submission: bit-identical output, faster time."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datagen import kmeans_centers, kmeans_points
+from repro.apps.drivers import kmeans_iterate
+from repro.core import JobConfig
+from repro.hw.presets import das4_cluster
+
+ROUNDS = 4
+
+
+@pytest.fixture(scope="module")
+def runs():
+    points = kmeans_points(6_000, 4, seed=21)
+    centers = kmeans_centers(6, 4, seed=22)
+    config = JobConfig(chunk_size=16 * 1024, storage="dfs",
+                       scheduler="static-affinity")
+    spec = das4_cluster(nodes=4)
+    dag = kmeans_iterate({"points": points}, centers, spec, config,
+                         max_iterations=ROUNDS, tolerance=0.0, engine="dag")
+    naive = kmeans_iterate({"points": points}, centers, spec, config,
+                           max_iterations=ROUNDS, tolerance=0.0,
+                           engine="resubmit")
+    return dag, naive
+
+
+def test_centers_bit_identical(runs):
+    dag, naive = runs
+    assert dag.centers.tobytes() == naive.centers.tobytes()
+    assert dag.centers.dtype == np.float32
+
+
+def test_trajectories_identical(runs):
+    dag, naive = runs
+    assert dag.shifts == naive.shifts
+    assert dag.orphaned == naive.orphaned
+    assert dag.iterations == naive.iterations == ROUNDS
+
+
+def test_dag_engine_is_faster(runs):
+    dag, naive = runs
+    assert dag.total_time < naive.total_time
+    assert dag.cache["hit_bytes"] > 0
+    assert naive.cache == {}
+
+
+def test_per_round_elapsed_drops_after_warmup(runs):
+    dag, _ = runs
+    elapsed = [r.job_time for r in dag.results]
+    assert all(e > 0 for e in elapsed)
+    assert max(elapsed[1:]) < elapsed[0]
+
+
+def test_repeated_dag_sessions_reproduce():
+    points = kmeans_points(2_000, 4, seed=23)
+    centers = kmeans_centers(4, 4, seed=24)
+    spec = das4_cluster(nodes=2)
+    config = JobConfig(chunk_size=16 * 1024, storage="local")
+    a = kmeans_iterate({"points": points}, centers, spec, config,
+                       max_iterations=3, tolerance=0.0, engine="dag")
+    b = kmeans_iterate({"points": points}, centers, spec, config,
+                       max_iterations=3, tolerance=0.0, engine="dag")
+    assert a.centers.tobytes() == b.centers.tobytes()
+    assert a.shifts == b.shifts

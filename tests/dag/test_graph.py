@@ -1,0 +1,135 @@
+"""Structural validation and topological ordering of :class:`repro.dag.DAG`."""
+
+import pytest
+
+from repro.apps import WordCountApp
+from repro.dag import DAG, DagError, StageOutput
+
+
+def wc():
+    return WordCountApp()
+
+
+def encode(pairs):
+    return b"".join(repr(p).encode() for p in pairs)
+
+
+def test_empty_dag_rejected():
+    with pytest.raises(DagError, match="no stages"):
+        DAG("empty").toposort()
+
+
+def test_duplicate_dataset_rejected():
+    dag = DAG()
+    dag.add_input("a", b"x")
+    with pytest.raises(DagError, match="duplicate dataset"):
+        dag.add_input("a", b"y")
+
+
+def test_duplicate_stage_rejected():
+    dag = DAG()
+    dag.add_input("a", b"x")
+    dag.add_stage("s", wc(), ["a"])
+    with pytest.raises(DagError, match="duplicate stage"):
+        dag.add_stage("s", wc(), ["a"])
+
+
+def test_unknown_dataset_reference():
+    dag = DAG()
+    dag.add_stage("s", wc(), ["missing"])
+    with pytest.raises(DagError, match="unknown dataset 'missing'"):
+        dag.toposort()
+
+
+def test_unknown_stage_join():
+    dag = DAG()
+    dag.add_stage("s", wc(), [StageOutput("ghost", encode)])
+    with pytest.raises(DagError, match="unknown stage 'ghost'"):
+        dag.toposort()
+
+
+def test_join_path_colliding_with_dataset():
+    dag = DAG()
+    dag.add_input("a", b"x")
+    dag.add_input("up.out", b"y")
+    dag.add_stage("up", wc(), ["a"])
+    dag.add_stage("down", wc(), [StageOutput("up", encode)])
+    with pytest.raises(DagError, match="collides with a dataset"):
+        dag.toposort()
+
+
+def test_unknown_after_reference():
+    dag = DAG()
+    dag.add_input("a", b"x")
+    dag.add_stage("s", wc(), ["a"], after=["ghost"])
+    with pytest.raises(DagError, match="ordered after unknown"):
+        dag.toposort()
+
+
+def test_self_dependency_rejected():
+    dag = DAG()
+    dag.add_input("a", b"x")
+    dag.add_stage("s", wc(), ["a"], after=["s"])
+    with pytest.raises(DagError, match="depends on itself"):
+        dag.toposort()
+
+
+def test_cycle_detected():
+    dag = DAG()
+    dag.add_input("a", b"x")
+    dag.add_stage("s1", wc(), ["a"], after=["s2"])
+    dag.add_stage("s2", wc(), ["a"], after=["s1"])
+    with pytest.raises(DagError, match=r"cycle through stages \['s1', 's2'\]"):
+        dag.toposort()
+
+
+def test_topological_order_follows_data_edges():
+    dag = DAG()
+    dag.add_input("a", b"x")
+    # Declared downstream-first: the data edge must still win.
+    dag.add_stage("down", wc(), [StageOutput("up", encode)])
+    dag.add_stage("up", wc(), ["a"])
+    assert [s.name for s in dag.toposort()] == ["up", "down"]
+
+
+def test_ties_break_by_declaration_order():
+    dag = DAG()
+    dag.add_input("a", b"x")
+    dag.add_stage("z", wc(), ["a"])
+    dag.add_stage("m", wc(), ["a"])
+    dag.add_stage("b", wc(), ["a"], after=["z"])
+    assert [s.name for s in dag.toposort()] == ["z", "m", "b"]
+
+
+def test_stage_requires_inputs():
+    with pytest.raises(DagError, match="no inputs"):
+        DAG().add_stage("s", wc(), [])
+
+
+def test_stage_rejects_bad_input_reference():
+    with pytest.raises(DagError, match="dataset paths or"):
+        DAG().add_stage("s", wc(), [42])
+
+
+def test_stage_rejects_non_app():
+    with pytest.raises(DagError, match="MapReduceApp or a"):
+        DAG().add_stage("s", "not-an-app", ["a"])
+
+
+def test_factory_must_return_an_app():
+    dag = DAG()
+    dag.add_input("a", b"x")
+    stage = dag.add_stage("s", lambda broadcast: 42, ["a"])
+    with pytest.raises(DagError, match="returned int"):
+        stage.make_app({})
+
+
+def test_dataset_path_must_be_nonempty():
+    with pytest.raises(DagError, match="non-empty"):
+        DAG().add_input("", b"x")
+
+
+def test_stage_output_defaults_path():
+    ref = StageOutput("up", encode)
+    assert ref.path == "up.out"
+    assert StageOutput("up", encode, path="custom.bin").path == "custom.bin"

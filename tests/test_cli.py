@@ -137,3 +137,79 @@ def test_main_explain_prints_analysis(capsys):
     assert "reduce pipeline" in out
     assert "dominant stage" in out
     assert "critical path" in out
+
+
+# -- iterative k-means and the dag subcommand -------------------------------
+
+def test_kmeans_iterations_flag_runs_dag_driver(capsys):
+    rc = main(["kmeans", "--nodes", "2", "--points", "2000", "--centers",
+               "4", "--iterations", "3", "--tolerance", "0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "kmeans-iterative" in out
+    assert "round 3" in out
+    assert "input cache" in out
+    assert "% hit rate" in out
+
+
+def test_kmeans_single_iteration_unchanged(capsys):
+    """--iterations 1 (the default) stays on the classic one-job path."""
+    rc = main(["kmeans", "--nodes", "2", "--points", "2000",
+               "--centers", "4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "kmeans-iterative" not in out
+    assert "job time" in out
+
+
+def test_kmeans_iterations_validation():
+    with pytest.raises(SystemExit, match="iterations"):
+        main(["kmeans", "--iterations", "0"])
+
+
+def test_kmeans_iterations_reject_fault_flags():
+    with pytest.raises(SystemExit, match="single-iteration"):
+        main(["kmeans", "--nodes", "2", "--points", "2000", "--centers",
+              "4", "--iterations", "2", "--fail-map", "0"])
+
+
+def test_kmeans_iterative_report(tmp_path, capsys):
+    import json
+    report = tmp_path / "dag.json"
+    rc = main(["kmeans", "--nodes", "2", "--points", "2000", "--centers",
+               "4", "--iterations", "2", "--tolerance", "0",
+               "--report-json", str(report)])
+    assert rc == 0
+    r = json.loads(report.read_text())
+    assert r["schema"] == "glasswing-dag-report/1"
+    assert r["iterations"] == 2
+    assert len(r["rounds"]) == 2
+    assert r["rounds"][1]["cache_hit_bytes"] > 0
+
+
+def test_dag_subcommand_prefixsum(capsys):
+    rc = main(["dag", "prefixsum", "--nodes", "2", "--values", "2000",
+               "--block", "256"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "prefixsum on 2 node(s)" in out
+    assert "blocksum@r1" in out and "scan@r1" in out
+
+
+def test_dag_subcommand_pagerank_trace(tmp_path, capsys):
+    import json
+    trace = tmp_path / "pr.trace.json"
+    rc = main(["dag", "pagerank", "--nodes", "2", "--vertices", "200",
+               "--edges", "1000", "--rounds", "2",
+               "--trace-out", str(trace)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "degrees@r1" in out and "contrib@r3" in out
+    t = json.loads(trace.read_text())
+    lanes = {e.get("args", {}).get("job") for e in t["traceEvents"]}
+    assert "contrib@r2" in lanes
+
+
+def test_dag_subcommand_validates_rounds():
+    with pytest.raises(SystemExit, match="rounds"):
+        main(["dag", "pagerank", "--rounds", "0"])
