@@ -1,10 +1,11 @@
 """Command-line entry point: ``python -m repro.bench <experiment>``.
 
 Experiments: table1, fig2, fig3, table2, table3, fig4, fig5, vertical,
-ablation, scaling, service, dag, or ``all``.  Use ``--quick`` for
-truncated node sweeps.  ``scaling`` writes ``BENCH_scaling.json``,
-``service`` writes ``BENCH_service.json`` and ``dag`` writes
-``BENCH_dag.json`` to the current directory.
+ablation, scaling, service, dag, elastic, or ``all``.  Use ``--quick``
+for truncated node sweeps.  ``scaling`` writes ``BENCH_scaling.json``,
+``service`` writes ``BENCH_service.json``, ``dag`` writes
+``BENCH_dag.json`` and ``elastic`` writes ``BENCH_elastic.json`` to the
+current directory.
 """
 
 from __future__ import annotations
@@ -63,11 +64,16 @@ def _reports(name: str, quick: bool):
         if quick:
             return [dag.report(quick=True, json_path=None)]
         return [dag.report()]
+    if name == "elastic":
+        from repro.bench import elastic
+        if quick:
+            return [elastic.report(quick=True, json_path=None)]
+        return [elastic.report()]
     raise SystemExit(f"unknown experiment {name!r}")
 
 
 ALL = ("table1", "fig2", "fig3", "table2", "table3", "fig4", "fig5",
-       "vertical", "ablation", "scaling", "service", "dag")
+       "vertical", "ablation", "scaling", "service", "dag", "elastic")
 
 
 def main(argv=None) -> int:

@@ -23,6 +23,13 @@ three DAG/iterative points are re-measured and diffed, including the
 exact cache-traffic byte counters, the k-means DAG-vs-resubmit speedup,
 and the bit-identical/bit-exact output flags that must never flip.
 
+And ``BENCH_elastic.json`` (from ``python -m repro.bench elastic``): the
+three membership chaos points — cluster doubling, cluster halving,
+double coordinator failover — are replayed and diffed, including the
+byte-identical output flag, the exact join/drain/failover counts and
+the recovery re-push/re-execute counters, none of which may drift at
+all.
+
 Wall-clock fields are deliberately ignored — they measure the CI
 machine, not the model.  Exit status is nonzero on any regression, so
 CI can gate on ``python -m repro.bench.regress``.
@@ -39,13 +46,16 @@ from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts
 
 from repro.bench.dag import DEFAULT_JSON_PATH as DAG_JSON_PATH
 from repro.bench.dag import dag_point
+from repro.bench.elastic import DEFAULT_JSON_PATH as ELASTIC_JSON_PATH
+from repro.bench.elastic import elastic_point
 from repro.bench.scaling import DEFAULT_JSON_PATH, QUICK_NODES, sweep_point
 from repro.bench.service import DEFAULT_JSON_PATH as SERVICE_JSON_PATH
 from repro.bench.service import service_point
 
 __all__ = ["DEFAULT_TOLERANCES", "SERVICE_TOLERANCES", "DAG_TOLERANCES",
-           "compare_point", "run_regress", "run_service_regress",
-           "run_dag_regress", "main"]
+           "ELASTIC_TOLERANCES", "compare_point", "run_regress",
+           "run_service_regress", "run_dag_regress", "run_elastic_regress",
+           "main"]
 
 #: metric -> (kind, tolerance); ``rel`` compares |new-old|/|old|,
 #: ``abs`` compares |new-old|
@@ -93,6 +103,35 @@ _DAG_SHAPE_KEYS: Dict[str, Any] = {
     "dag:kmeans": ("n_points", "rounds"),
     "dag:pagerank": ("n_vertices", "n_edges", "rounds"),
     "dag:prefixsum": ("n_values",),
+}
+
+#: the chaos-replay gate: simulated times get the float allowance;
+#: byte counters, the identical-output flag and the leak audit are
+#: exact — a chaos schedule whose output stops matching the static run
+#: is a correctness bug the gate must refuse
+ELASTIC_TOLERANCES: Dict[str, Any] = {
+    "elapsed_s": ("rel", 0.02),
+    "baseline_elapsed_s": ("rel", 0.02),
+    "network_bytes": ("rel", 0.0),
+    "identical_output": ("abs", 0.0),
+    "leaked_buffer_slots": ("abs", 0.0),
+}
+
+#: per-point extras on top of :data:`ELASTIC_TOLERANCES` — membership
+#: and recovery counters are exact
+_ELASTIC_EXTRA_TOLERANCES: Dict[str, Dict[str, Any]] = {
+    "elastic:double": {"speedup": ("rel", 0.02), "joined": ("abs", 0.0)},
+    "elastic:halve": {"slowdown": ("rel", 0.02), "departed": ("abs", 0.0),
+                      "repushed_runs": ("abs", 0.0),
+                      "reexecuted_splits": ("abs", 0.0)},
+    "elastic:failover": {"failovers": ("abs", 0.0),
+                         "overhead_s": ("abs", 1e-9)},
+}
+
+_ELASTIC_SHAPE_KEYS: Dict[str, Any] = {
+    "elastic:double": ("kilobytes",),
+    "elastic:halve": ("kilobytes",),
+    "elastic:failover": ("kilobytes",),
 }
 
 
@@ -234,6 +273,43 @@ def run_dag_regress(baseline_path: str = DAG_JSON_PATH,
     }
 
 
+def run_elastic_regress(baseline_path: str = ELASTIC_JSON_PATH,
+                        tolerances: Optional[Dict[str, Any]] = None,
+                        costs: HostCosts = DEFAULT_HOST_COSTS
+                        ) -> Dict[str, Any]:
+    """Re-run every recorded membership chaos point and diff it.
+
+    Each point replays its own static baseline first (the chaos
+    schedule's event times are derived from the measured static map
+    extent), so the comparison covers both runs; everything else —
+    seeds, cluster, scheduler, the failover delay — is pinned inside
+    :mod:`repro.bench.elastic`.
+    """
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    points = baseline["points"]
+    if not points:
+        raise ValueError(f"{baseline_path} records no elastic points")
+    rows: List[Dict[str, Any]] = []
+    for recorded in points:
+        app = recorded["app"]
+        if app not in _ELASTIC_SHAPE_KEYS:
+            raise ValueError(
+                f"{baseline_path}: unknown elastic point {app!r}")
+        shape = {key: recorded[key] for key in _ELASTIC_SHAPE_KEYS[app]}
+        measured = elastic_point(app, costs=costs, **shape)
+        tols = {**(tolerances or ELASTIC_TOLERANCES),
+                **_ELASTIC_EXTRA_TOLERANCES[app]}
+        rows.extend(compare_point(recorded, measured, tols))
+    return {
+        "baseline_path": baseline_path,
+        "points": len(points),
+        "comparisons": rows,
+        "failures": [r for r in rows if not r["ok"]],
+        "ok": all(r["ok"] for r in rows),
+    }
+
+
 def _print_table(result: Dict[str, Any], out=None) -> None:
     out = out if out is not None else sys.stdout
     header = (f"{'app':<18} {'nodes':>5} {'metric':<21} {'baseline':>14} "
@@ -291,6 +367,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              f"{DAG_JSON_PATH} when present)")
     parser.add_argument("--skip-dag", action="store_true",
                         help="skip the DAG/iterative replay")
+    parser.add_argument("--elastic-baseline", default=None, metavar="FILE",
+                        help="membership chaos baseline to gate (default: "
+                             f"{ELASTIC_JSON_PATH} when present)")
+    parser.add_argument("--skip-elastic", action="store_true",
+                        help="skip the membership chaos replay")
     args = parser.parse_args(argv)
 
     tolerances = dict(DEFAULT_TOLERANCES)
@@ -344,25 +425,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print()
             _print_table(dag_result)
 
+    elastic_result = None
+    if not args.skip_elastic:
+        import os
+        elastic_baseline = args.elastic_baseline or ELASTIC_JSON_PATH
+        if args.elastic_baseline is None \
+                and not os.path.exists(elastic_baseline):
+            print(f"(no {elastic_baseline}; elastic replay skipped)")
+        else:
+            try:
+                elastic_result = run_elastic_regress(elastic_baseline)
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"regress: {exc}", file=sys.stderr)
+                return 2
+            print()
+            _print_table(elastic_result)
+
     if args.json:
         from repro.obs.telemetry import ensure_parent_dir
         ensure_parent_dir(args.json)
         payload = dict(result)
-        if service_result is not None or dag_result is not None:
+        extras = {"service": service_result, "dag": dag_result,
+                  "elastic": elastic_result}
+        if any(v is not None for v in extras.values()):
             payload = {"scaling": result,
-                       "ok": result["ok"]
-                       and (service_result is None or service_result["ok"])
-                       and (dag_result is None or dag_result["ok"])}
-            if service_result is not None:
-                payload["service"] = service_result
-            if dag_result is not None:
-                payload["dag"] = dag_result
+                       "ok": result["ok"] and all(
+                           v is None or v["ok"] for v in extras.values())}
+            for key, value in extras.items():
+                if value is not None:
+                    payload[key] = value
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
     ok = result["ok"] \
         and (service_result is None or service_result["ok"]) \
-        and (dag_result is None or dag_result["ok"])
+        and (dag_result is None or dag_result["ok"]) \
+        and (elastic_result is None or elastic_result["ok"])
     return 0 if ok else 1
 
 

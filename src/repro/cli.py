@@ -126,6 +126,39 @@ def build_parser() -> argparse.ArgumentParser:
                              "--fault-seed")
     faults.add_argument("--speculate", action="store_true",
                         help="enable speculative re-execution of stragglers")
+    elastic = parser.add_argument_group(
+        "elastic membership (docs/elasticity.md)")
+    elastic.add_argument("--active-nodes", type=int, default=None,
+                         metavar="N",
+                         help="start with only the first N nodes active; "
+                              "the rest stand by for --join / --elastic")
+    elastic.add_argument("--join", action="append", default=[],
+                         metavar="NODE@TIME",
+                         help="activate a standby at a virtual time, e.g. "
+                              "5@0.25 or auto@0.25 for the lowest-id "
+                              "standby (repeatable)")
+    elastic.add_argument("--leave", action="append", default=[],
+                         metavar="NODE@TIME",
+                         help="drain an active node at a virtual time "
+                              "(auto@T drains the highest-id one); its "
+                              "work re-homes through recovery "
+                              "(repeatable)")
+    elastic.add_argument("--elastic", metavar="MIN:MAX", default=None,
+                         help="auto-scale between MIN and MAX active "
+                              "nodes from CPU saturation watermarks")
+    elastic.add_argument("--coord-replicas", type=int, default=None,
+                         metavar="N",
+                         help="replicate the coordinator N ways (leader + "
+                              "standbys; default 1)")
+    elastic.add_argument("--coord-crash", action="append", default=[],
+                         type=float, metavar="TIME",
+                         help="kill the coordinator leader at a virtual "
+                              "time; a standby takes over after "
+                              "--failover-timeout (repeatable)")
+    elastic.add_argument("--failover-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="leader-election delay charged per "
+                              "coordinator failover (default 0.05)")
     obs = parser.add_argument_group("observability")
     obs.add_argument("--trace-out", metavar="FILE.json", default=None,
                      help="write a Chrome trace-event file (load in "
@@ -154,8 +187,20 @@ def _parse_at(spec: str, flag: str) -> Tuple[int, float]:
         raise SystemExit(f"{flag} expects ID@VALUE, got {spec!r}")
 
 
+def _parse_member_at(spec: str, flag: str) -> Tuple[Optional[int], float]:
+    """``NODE@TIME`` where NODE may be ``auto`` (resolved at fire time)."""
+    try:
+        left, right = spec.split("@", 1)
+        node = None if left.strip().lower() == "auto" else int(left)
+        return node, float(right)
+    except ValueError:
+        raise SystemExit(f"{flag} expects NODE@TIME (NODE may be 'auto'), "
+                         f"got {spec!r}")
+
+
 def make_faults(args, n_splits_hint: int = 64) -> Optional[FaultPlan]:
     """Build the :class:`FaultPlan` the CLI flags describe (or ``None``)."""
+    from repro.core.faults import CoordinatorCrash, NodeJoin, NodeLeave
     if args.fault_seed is not None:
         return FaultPlan.seeded(
             args.fault_seed, n_splits=n_splits_hint, n_nodes=args.nodes,
@@ -172,12 +217,34 @@ def make_faults(args, n_splits_hint: int = 64) -> Optional[FaultPlan]:
                     for node, at in (_parse_at(s, "--node-crash")
                                      for s in args.node_crash))
     stragglers = dict(_parse_at(s, "--straggle") for s in args.straggle)
-    if not (map_failures or reduce_failures or crashes or stragglers):
+    joins = tuple(NodeJoin(node, at)
+                  for node, at in (_parse_member_at(s, "--join")
+                                   for s in getattr(args, "join", [])))
+    leaves = tuple(NodeLeave(node, at)
+                   for node, at in (_parse_member_at(s, "--leave")
+                                    for s in getattr(args, "leave", [])))
+    coord_crashes = tuple(CoordinatorCrash(at)
+                          for at in getattr(args, "coord_crash", []))
+    if not (map_failures or reduce_failures or crashes or stragglers
+            or joins or leaves or coord_crashes):
         return None
     return FaultPlan(map_failures=map_failures,
                      reduce_failures=reduce_failures,
+                     node_joins=joins, node_leaves=leaves,
+                     coordinator_crashes=coord_crashes,
                      node_crashes=crashes,
                      stragglers={s: float(f) for s, f in stragglers.items()})
+
+
+def _parse_elastic(spec: str, nodes: int):
+    """``MIN:MAX`` -> :class:`~repro.core.membership.ElasticPolicy`."""
+    from repro.core.membership import ElasticPolicy
+    try:
+        lo, hi = spec.split(":", 1)
+        return ElasticPolicy(min_nodes=int(lo),
+                             max_nodes=min(int(hi), nodes))
+    except ValueError as exc:
+        raise SystemExit(f"--elastic expects MIN:MAX, got {spec!r} ({exc})")
 
 
 def _parse_device_pool(spec: str) -> Tuple[DeviceKind, ...]:
@@ -201,6 +268,12 @@ def make_job(args) -> Tuple[MapReduceApp, Dict[str, bytes], JobConfig]:
         extra["scheduler"] = args.scheduler
     if args.devices is not None:
         extra["devices"] = _parse_device_pool(args.devices)
+    if getattr(args, "active_nodes", None) is not None:
+        extra["active_nodes"] = args.active_nodes
+    if getattr(args, "coord_replicas", None) is not None:
+        extra["coordinator_replicas"] = args.coord_replicas
+    if getattr(args, "failover_timeout", None) is not None:
+        extra["failover_timeout"] = args.failover_timeout
     config = JobConfig(
         chunk_size=args.chunk_kb * 1024,
         device=DeviceKind.GPU if args.device == "gpu" else DeviceKind.CPU,
@@ -285,6 +358,18 @@ def build_serve_parser() -> argparse.ArgumentParser:
     adm.add_argument("--arbiter", choices=list(ARBITER_NAMES),
                      default="fair-share",
                      help="cross-job dispatch policy")
+    pool = parser.add_argument_group("elastic pool (docs/elasticity.md)")
+    pool.add_argument("--active-nodes", type=int, default=None, metavar="N",
+                      help="start the shared pool with only the first N "
+                           "nodes active")
+    pool.add_argument("--scale-out", action="append", default=[],
+                      metavar="[NODE@]TIME",
+                      help="grow the pool at a virtual time (every running "
+                           "job sees the join; repeatable)")
+    pool.add_argument("--scale-in", action="append", default=[],
+                      metavar="[NODE@]TIME",
+                      help="drain a pool node at a virtual time "
+                           "(repeatable)")
     obs = parser.add_argument_group("observability")
     obs.add_argument("--trace-out", metavar="FILE.json", default=None,
                      help="write the merged multi-job Chrome trace "
@@ -326,8 +411,29 @@ def serve_main(argv=None) -> int:
                            arbiter=args.arbiter)
     cluster = das4_cluster(nodes=args.nodes,
                            network=QDR_IB if args.network == "ib" else GBE)
-    server = JobServer(cluster, policy=policy, config=config,
-                       metrics_interval=args.metrics_interval)
+    try:
+        server = JobServer(cluster, policy=policy, config=config,
+                           metrics_interval=args.metrics_interval,
+                           active_nodes=args.active_nodes)
+    except ValueError as exc:    # e.g. --active-nodes outside the cluster
+        raise SystemExit(f"invalid pool: {exc}")
+
+    def _scale_spec(spec, flag):
+        if "@" in spec:
+            node, at = _parse_at(spec, flag)
+            return node, at
+        try:
+            return None, float(spec)
+        except ValueError:
+            raise SystemExit(f"{flag} expects TIME or NODE@TIME, "
+                             f"got {spec!r}")
+
+    for spec in args.scale_out:
+        node, at = _scale_spec(spec, "--scale-out")
+        server.scale_out(at, node)
+    for spec in args.scale_in:
+        node, at = _scale_spec(spec, "--scale-in")
+        server.scale_in(at, node)
     for request in requests:
         server.submit(request)
     try:
@@ -568,8 +674,11 @@ def main(argv=None) -> int:
                      and DeviceKind.GPU in config.devices))
     cluster = das4_cluster(nodes=args.nodes, gpu=needs_gpu,
                            network=QDR_IB if args.network == "ib" else GBE)
+    elastic = (_parse_elastic(args.elastic, args.nodes)
+               if args.elastic else None)
     try:
-        result = run_glasswing(app, inputs, cluster, config, faults=faults)
+        result = run_glasswing(app, inputs, cluster, config, faults=faults,
+                               elastic=elastic)
     except ValueError as exc:    # e.g. crash target outside the cluster
         raise SystemExit(f"invalid fault schedule: {exc}")
 

@@ -103,6 +103,19 @@ class JobConfig:
     #: observed kernel duration
     speculation_factor: float = 1.75
 
+    # -- elasticity & control plane (docs/elasticity.md) ---------------------
+    #: start the job on the first ``active_nodes`` hardware nodes only;
+    #: the rest are standbys a ``NodeJoin`` (or the elastic controller)
+    #: can activate mid-job.  ``None`` = every node is active (classic).
+    active_nodes: Optional[int] = None
+    #: control-plane replicas; 1 reproduces the single immortal
+    #: coordinator (a ``CoordinatorCrash`` then kills the job)
+    coordinator_replicas: int = 1
+    #: virtual seconds one leader election costs (failure detection +
+    #: election rounds, charged once per failover regardless of how many
+    #: control-plane calls were waiting)
+    failover_timeout: float = 0.05
+
     # -- observability ------------------------------------------------------
     #: telemetry sampling period in *simulated* seconds; ``None`` disables
     #: the sampler entirely (zero instrumentation cost)
@@ -132,6 +145,12 @@ class JobConfig:
             raise ValueError("speculation_factor must be > 1")
         if self.metrics_interval is not None and self.metrics_interval <= 0:
             raise ValueError("metrics_interval must be > 0 (or None)")
+        if self.active_nodes is not None and self.active_nodes < 1:
+            raise ValueError("active_nodes must be >= 1 (or None for all)")
+        if self.coordinator_replicas < 1:
+            raise ValueError("coordinator_replicas must be >= 1")
+        if self.failover_timeout < 0:
+            raise ValueError("failover_timeout must be >= 0")
         from repro.core.sched import SCHEDULER_NAMES
         if self.scheduler not in SCHEDULER_NAMES:
             raise ValueError(

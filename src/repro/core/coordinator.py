@@ -99,10 +99,20 @@ class ShuffleRegistry:
       re-executed.
     """
 
-    def __init__(self, n_nodes: int, partitions_per_node: int):
+    def __init__(self, n_nodes: int, partitions_per_node: int,
+                 nodes: Optional[Sequence[int]] = None):
+        """``nodes`` restricts the partition space to an explicit active
+        set (elastic jobs start on a subset of the hardware): the
+        partition count and initial ownership follow the *active* nodes,
+        so later joins/leaves never change the output partitioning.
+        ``nodes=None`` keeps the classic ``pid % n_nodes`` layout."""
         self.n_nodes = n_nodes
-        self.total_partitions = n_nodes * partitions_per_node
-        self._owner: Dict[int, int] = {pid: pid % n_nodes
+        owners = list(nodes) if nodes is not None else list(range(n_nodes))
+        if not owners or any(not (0 <= n < n_nodes) for n in owners):
+            raise ValueError(
+                f"registry nodes {owners} outside the {n_nodes}-node cluster")
+        self.total_partitions = len(owners) * partitions_per_node
+        self._owner: Dict[int, int] = {pid: owners[pid % len(owners)]
                                        for pid in range(self.total_partitions)}
         self.delivered: Dict[Tuple[int, int], int] = {}
         self.durable: Dict[Tuple[int, int], Dict[int, SortedRun]] = {}
@@ -136,7 +146,8 @@ class ShuffleRegistry:
         return sorted(s for (n, s) in self.durable if n == node)
 
     # -- recovery planning -------------------------------------------------
-    def recovery_plan(self, all_splits: Sequence[Split], alive
+    def recovery_plan(self, all_splits: Sequence[Split], alive,
+                      durable_alive=None
                       ) -> Tuple[Dict[Tuple[int, int], List[Tuple[int, int, SortedRun]]],
                                  List[Split]]:
         """What the survivors must do after node loss.
@@ -148,13 +159,19 @@ class ShuffleRegistry:
         (their mapper died, taking the durable copy with it — or they
         never completed at all).  Every ``(split, pid)`` the ledger shows
         as lost is covered by exactly one of the two.
+
+        ``durable_alive`` widens the durable-holder predicate beyond
+        ``alive``: a *departed* (drained) node takes no new work but its
+        local spill is still readable, so it remains a re-push source —
+        the difference between decommissioning a node and losing it.
         """
         repushes: Dict[Tuple[int, int], List[Tuple[int, int, SortedRun]]] = {}
         reexec: List[Split] = []
+        can_serve = durable_alive if durable_alive is not None else alive
         for split in all_splits:
             durable_holder = None
             for (node, s) in self.durable:
-                if s == split.index and alive(node):
+                if s == split.index and can_serve(node):
                     durable_holder = node
                     break
             lost_pids = [pid for pid in range(self.total_partitions)

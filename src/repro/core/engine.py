@@ -17,12 +17,29 @@ and a recovery wave (:func:`~repro.core.recovery.run_recovery`) rebuilds
 the lost shuffle state on the survivors before merging finalises.  The
 headline guarantee: any fault schedule produces the same job output as
 the fault-free run, at gracefully degraded job time.
+
+Elastic membership (docs/elasticity.md) generalises the crash machinery:
+a job may start on a subset of the hardware (``active`` /
+``JobConfig.active_nodes``) with the rest standing by; ``NodeJoin``
+events (or the saturation-driven
+:class:`~repro.core.membership.ElasticController`) activate standbys
+mid-map — the joiner registers with the scheduler and starts pulling
+queued splits through the ordinary ``next_for`` seam — while
+``NodeLeave`` events drain actives through the same recovery wave a
+crash uses (but with their durable spill still readable).  The control
+plane itself is a replicated
+:class:`~repro.core.membership.CoordinatorGroup`; membership transitions
+and phase commits pass through its ``require_leader`` barrier, so a
+``CoordinatorCrash`` costs one deterministic failover delay and nothing
+else.  The partition space stays pinned to the *initial* active set, so
+every membership schedule produces output byte-identical to the static
+run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.hw.node import Cluster
 from repro.hw.specs import ClusterSpec, DeviceKind
@@ -39,6 +56,8 @@ from repro.core.faults import ClusterHealth, FaultPlan, NodeCrash
 from repro.core.intermediate import IntermediateManager
 from repro.core.io import DFSBackend, StorageBackend, make_backend
 from repro.core.map_phase import MapPhase
+from repro.core.membership import (CoordinatorGroup, ElasticController,
+                                   ElasticPolicy)
 from repro.core.metrics import JobMetrics
 from repro.core.recovery import SpeculationController, run_recovery
 from repro.core.reduce_phase import ReducePhase
@@ -183,7 +202,9 @@ class JobExecution:
                  exclusive: bool = False,
                  timeline: Optional[Timeline] = None,
                  backend: Optional[StorageBackend] = None,
-                 splits: Optional[List] = None):
+                 splits: Optional[List] = None,
+                 active: Optional[Sequence[int]] = None,
+                 elastic: Optional[ElasticPolicy] = None):
         self.session = session
         self.app = app
         self.name = name
@@ -198,11 +219,38 @@ class JobExecution:
         n = len(cluster)
         self._box: Dict[str, Any] = {}
 
+        # Resolve the initially-active node set.  The default — every
+        # node active — is the classic static cluster; a strict subset
+        # leaves the rest standing by for NodeJoin events or the elastic
+        # controller.  The partition space, the input placement and the
+        # schedule are all pinned to this set so any later membership
+        # churn leaves the output byte-identical.
+        if active is not None:
+            active_ids = sorted(set(active))
+        elif config.active_nodes is not None:
+            if config.active_nodes > n:
+                raise ValueError(
+                    f"active_nodes={config.active_nodes} exceeds the "
+                    f"cluster size {n}")
+            active_ids = list(range(config.active_nodes))
+        else:
+            active_ids = list(range(n))
+        if not active_ids or any(not (0 <= i < n) for i in active_ids):
+            raise ValueError(
+                f"active node set {active_ids} invalid for a "
+                f"{n}-node cluster")
+        self.initial_active = active_ids
+        restricted = len(active_ids) < n
+
         if backend is None:
             backend_kwargs = {}
             if config.storage == "dfs":
                 backend_kwargs = dict(block_size=config.chunk_size,
                                       replication=config.input_replication)
+                if restricted:
+                    # Standby hardware must never hold input replicas the
+                    # baseline run depends on.
+                    backend_kwargs["placement_nodes"] = list(active_ids)
             self.backend = backend = make_backend(config.storage, cluster,
                                                   **backend_kwargs)
             for path, data in inputs.items():
@@ -222,7 +270,8 @@ class JobExecution:
         # Per-job fault-tolerance state: the health view gates storage
         # reads/writes and network deliveries; the registry is the
         # shuffle's global ledger that recovery replans from.
-        self.health = health = ClusterHealth(n)
+        self.health = health = ClusterHealth(
+            n, active=active_ids if restricted else None)
         if exclusive:
             cluster.network.health = health
         self.meter = TrafficMeter(timeline=timeline, health=health)
@@ -233,7 +282,16 @@ class JobExecution:
             base_backend.dfs.health = health
             base_backend.dfs.meter = self.meter
         self.registry = registry = ShuffleRegistry(
-            n, config.partitions_per_node)
+            n, config.partitions_per_node,
+            nodes=active_ids if restricted else None)
+
+        # The replicated control plane.  With one replica and no
+        # CoordinatorCrash events this is pure bookkeeping: every
+        # ``require_leader`` barrier returns without yielding.
+        self.coordinator = CoordinatorGroup(
+            sim, timeline=timeline, replicas=config.coordinator_replicas,
+            failover_timeout=config.failover_timeout,
+            name=f"{name}.coord")
 
         if splits is None:
             record_size = (app.record_format.record_size
@@ -244,14 +302,14 @@ class JobExecution:
         self.splits = splits
         self.scheduler = scheduler = make_scheduler(
             config.scheduler, sim=sim, timeline=timeline)
-        scheduler.plan(splits, backend, n)
+        scheduler.plan(splits, backend, n, active=active_ids)
 
         # Per-node device pools: one Device object per distinct kind (a
         # kind appearing in both phases shares its device, as before),
         # one concurrently scheduled map pipeline per pool member.
         # Devices come from the session cache, so concurrent jobs queue
         # on the same engines.
-        map_kinds = config.map_device_pool
+        self.map_kinds = map_kinds = config.map_device_pool
         self.reduce_kinds = reduce_kinds = config.reduce_device_pool
         all_kinds = list(dict.fromkeys(map_kinds + reduce_kinds))
         self.device_objs: List[Dict[DeviceKind, Device]] = [
@@ -268,33 +326,47 @@ class JobExecution:
                 [cluster[i] for i in range(n)], costs=costs,
                 scheduler=scheduler)
 
+        # Managers and map pipelines exist only on active nodes; a
+        # standby gets both the moment it joins (see ``_on_join``).
         self.managers = managers = {
             i: IntermediateManager(
                 sim, cluster[i], app, config, timeline,
                 owned_pids=registry.owned_by(i),
                 costs=costs)
-            for i in range(n)
+            for i in active_ids
         }
-        pooled_map = len(map_kinds) > 1
+        self._pooled_map = pooled_map = len(map_kinds) > 1
+        active_set = set(active_ids)
         self.map_phases_by_node: List[List[MapPhase]] = [
-            [MapPhase(sim, cluster[i], self.device_objs[i][kind], app,
-                      config, backend, timeline, scheduler=scheduler,
-                      managers=managers, network=cluster.network,
-                      costs=costs, faults=faults, health=health,
-                      registry=registry, speculation=self.speculation,
-                      device_key=kind.value if pooled_map else None,
-                      meter=self.meter)
-             for kind in map_kinds]
+            ([MapPhase(sim, cluster[i], self.device_objs[i][kind], app,
+                       config, backend, timeline, scheduler=scheduler,
+                       managers=managers, network=cluster.network,
+                       costs=costs, faults=faults, health=health,
+                       registry=registry, speculation=self.speculation,
+                       device_key=kind.value if pooled_map else None,
+                       meter=self.meter)
+              for kind in map_kinds]
+             if i in active_set else [])
             for i in range(n)
         ]
         self.map_phases = [mp for phases in self.map_phases_by_node
                            for mp in phases]
+        # Phases existing at construction: the orchestrator launches
+        # these itself; phases a join adds later get their run processes
+        # appended to ``_map_waits`` by ``_on_join``.
+        self._initial_phases = list(self.map_phases)
+        self._map_waits: List[Any] = []
+        self.membership_events: List[Dict[str, Any]] = []
 
         # Node-crash monitors: armed for the map/shuffle window only (a
         # crash after the shuffle completed is out of this model's scope
         # and is ignored — the monitor loses its race against
         # ``shuffle_done``).
         self.shuffle_done = Event(sim)
+        #: resolved when the orchestrator finishes; coordinator-crash
+        #: monitors race it (the control plane may be killed in *any*
+        #: phase, unlike node crashes)
+        self.job_done = Event(sim)
         crashes: Tuple[NodeCrash, ...] = faults.node_crashes if faults else ()
         for crash in crashes:
             if crash.node >= n:
@@ -303,6 +375,38 @@ class JobExecution:
                     f"cluster has {n} nodes")
             sim.process(self._crash_monitor(crash),
                         name=f"crash.n{crash.node}")
+
+        # Membership + control-plane fault monitors.
+        if faults is not None:
+            for join in faults.node_joins:
+                if join.node is not None and join.node >= n:
+                    raise ValueError(
+                        f"node join targets node {join.node} but the "
+                        f"cluster has {n} nodes")
+                sim.process(
+                    self._membership_monitor("join", join.node, join.at),
+                    name=f"join.{join.node if join.node is not None else 'auto'}")
+            for leave in faults.node_leaves:
+                if leave.node is not None and leave.node >= n:
+                    raise ValueError(
+                        f"node leave targets node {leave.node} but the "
+                        f"cluster has {n} nodes")
+                sim.process(
+                    self._membership_monitor("leave", leave.node, leave.at),
+                    name=f"leave.{leave.node if leave.node is not None else 'auto'}")
+            for ccrash in faults.coordinator_crashes:
+                sim.process(self._coord_crash_monitor(ccrash),
+                            name=f"coordcrash@{ccrash.at}")
+
+        self._elastic: Optional[ElasticController] = None
+        if elastic is not None:
+            self._elastic = ElasticController(self, elastic)
+
+        if session.telemetry is not None:
+            from repro.obs.telemetry import register_membership_gauges
+            register_membership_gauges(session.telemetry, health,
+                                       coordinator=self.coordinator,
+                                       job=name)
 
     # -- orchestration -----------------------------------------------------
     def _crash_monitor(self, crash: NodeCrash):
@@ -317,11 +421,146 @@ class JobExecution:
                              sim.now, sim.now, node=crash.node)
         for mp in self.map_phases_by_node[crash.node]:
             mp.kill()
-        self.managers[crash.node].kill()
+        manager = self.managers.get(crash.node)
+        if manager is not None:
+            manager.kill()
+
+    # -- elastic membership ------------------------------------------------
+    def _membership_monitor(self, kind: str, node: Optional[int], at: float):
+        """Fire a planned join/leave at ``at`` unless the shuffle already
+        completed (membership is frozen from merge finalisation on, the
+        same window rule node crashes follow)."""
+        sim = self.session.sim
+        idx, _ = yield sim.any_of([sim.timeout(at), self.shuffle_done])
+        if idx != 0:
+            return
+        if kind == "join":
+            yield from self._on_join(node)
+        else:
+            yield from self._on_leave(node)
+
+    def _coord_crash_monitor(self, crash):
+        sim = self.session.sim
+        idx, _ = yield sim.any_of([sim.timeout(crash.at), self.job_done])
+        if idx != 0:
+            return
+        self.coordinator.crash_leader()
+
+    def inject_join(self, node: Optional[int] = None):
+        """Activate a standby now (``None`` picks the lowest-id standby).
+
+        Spawns the transition as its own process so callers — the elastic
+        controller, the service layer's scale hooks — need not be
+        generators themselves.  Harmless no-op when nothing can join.
+        """
+        return self.session.sim.process(self._on_join(node),
+                                        name=f"{self.name}.join")
+
+    def inject_leave(self, node: Optional[int] = None):
+        """Drain an active node now (``None`` picks the highest-id one)."""
+        return self.session.sim.process(self._on_leave(node),
+                                        name=f"{self.name}.leave")
+
+    def _on_join(self, node: Optional[int]):
+        """Standby → active: one coordinator round-trip, then the node
+        gets a manager + map pipelines and registers with the scheduler —
+        from where the ordinary pull loop lets it steal queued splits
+        with zero further engine involvement."""
+        sim = self.session.sim
+        health = self.health
+        if self.shuffle_done.triggered:
+            return
+        if node is not None and node not in health.inactive:
+            return
+        # Admission is a control-plane operation: it blocks (and charges
+        # the failover delay) while the coordinator seat is vacant.  An
+        # ``auto`` node resolves *after* the barrier so transitions
+        # queued behind one failover pick distinct standbys.
+        yield from self.coordinator.require_leader()
+        if self.shuffle_done.triggered:
+            return
+        if node is None:
+            standbys = sorted(health.inactive)
+            if not standbys:
+                return
+            node = standbys[0]
+        elif node not in health.inactive:
+            return
+        health.activate(node, sim.now)
+        cluster = self.session.cluster
+        self.timeline.record("node.join", cluster[node].name,
+                             sim.now, sim.now, node=node)
+        self.membership_events.append(
+            {"kind": "join", "node": node, "at": sim.now})
+        cache = getattr(self.backend, "mark_rejoined", None)
+        if cache is not None:
+            cache(node)
+        # A joiner owns no shuffle partitions (the partition space stays
+        # pinned to the initial active set) — it contributes map/merge
+        # work and receives rehomed partitions only through recovery.
+        self.managers[node] = IntermediateManager(
+            sim, cluster[node], self.app, self.config, self.timeline,
+            owned_pids=[], costs=self.costs)
+        self.scheduler.node_joined(node)
+        phases = [MapPhase(sim, cluster[node],
+                           self.device_objs[node][kind], self.app,
+                           self.config, self.backend, self.timeline,
+                           scheduler=self.scheduler, managers=self.managers,
+                           network=cluster.network, costs=self.costs,
+                           faults=self.faults, health=health,
+                           registry=self.registry,
+                           speculation=self.speculation,
+                           device_key=(kind.value if self._pooled_map
+                                       else None),
+                           meter=self.meter)
+                  for kind in self.map_kinds]
+        self.map_phases_by_node[node] = phases
+        self.map_phases.extend(phases)
+        self._map_waits.extend(mp.run() for mp in phases)
+
+    def _on_leave(self, node: Optional[int]):
+        """Active → departed: drain through the recovery path.  The
+        node's pipelines die like a crash's would, but its durable spill
+        and replicas stay readable — so recovery re-pushes from it
+        instead of re-executing its splits."""
+        sim = self.session.sim
+        health = self.health
+        if self.shuffle_done.triggered:
+            return
+        if node is not None and node not in health.alive_nodes:
+            return
+        yield from self.coordinator.require_leader()
+        alive = health.alive_nodes
+        if self.shuffle_done.triggered or len(alive) <= 1:
+            return
+        if node is None:
+            node = max(alive)
+        elif node not in alive:
+            return
+        health.mark_departed(node, sim.now)
+        cluster = self.session.cluster
+        self.timeline.record("node.leave", cluster[node].name,
+                             sim.now, sim.now, node=node)
+        self.membership_events.append(
+            {"kind": "leave", "node": node, "at": sim.now})
+        for mp in self.map_phases_by_node[node]:
+            mp.kill()
+        manager = self.managers.get(node)
+        if manager is not None:
+            manager.kill()
+        self.scheduler.node_left(node)
+        # Evict the departing node's cache-aside entries (its RAM left
+        # with it); its *disk* state deliberately survives.
+        cache = getattr(self.backend, "mark_departed", None)
+        if cache is not None:
+            cache(node)
 
     def start(self):
         """Launch the orchestrator; returns its process (yieldable)."""
         self.proc = self.session.sim.process(self._job(), name=self.name)
+        if self._elastic is not None:
+            self.session.sim.process(self._elastic.run(),
+                                     name=f"{self.name}.elastic")
         return self.proc
 
     def _job(self):
@@ -334,15 +573,38 @@ class JobExecution:
         config = self.config
         result_box = self._box
         t0 = sim.now
-        yield sim.all_of([mp.run() for mp in self.map_phases])
-        # The merge phase continues until all pushed Partitions arrive.
-        pushes = [p for mp in self.map_phases for p in mp.push_procs]
-        if pushes:
+        # Growth loop: joins may append freshly spawned pipelines (and
+        # their push processes) to ``_map_waits`` while we are blocked on
+        # an earlier batch, so keep draining until the lists stop
+        # growing.  With a static membership this degenerates to exactly
+        # the classic two waits: one all_of over every map run, then one
+        # all_of over every push process.
+        waits = self._map_waits
+        waits.extend(mp.run() for mp in self._initial_phases)
+        done = 0
+        waited_pushes = set()
+        while True:
+            if done < len(waits):
+                batch = waits[done:]
+                done = len(waits)
+                yield sim.all_of(batch)
+                continue
+            # The merge phase continues until all pushed Partitions
+            # arrive.
+            pushes = [p for mp in self.map_phases for p in mp.push_procs
+                      if id(p) not in waited_pushes]
+            if not pushes:
+                break
+            for p in pushes:
+                waited_pushes.add(id(p))
             yield sim.all_of(pushes)
         if not self.shuffle_done.triggered:
             self.shuffle_done.succeed(None)
+        # Committing the shuffle is a control-plane step: a coordinator
+        # crash during the map window stalls here for one failover.
+        yield from self.coordinator.require_leader()
         recovery_stats = (0, 0)
-        if health.any_dead:
+        if health.needs_recovery:
             t_r = sim.now
             recovery_stats = yield from run_recovery(
                 sim, timeline, cluster, self.app, config, self.backend,
@@ -359,9 +621,17 @@ class JobExecution:
                                       name=f"finalize{i}")
                           for i in survivors])
         timeline.record("phase.merge", "job", t1, sim.now)
+        # Launching reduce is the second control-plane commit point (a
+        # coordinator killed between map-commit and here is caught now).
+        yield from self.coordinator.require_leader()
         t2 = sim.now
         reduce_phases = []
         for i in survivors:
+            if not managers[i].owned:
+                # A node that joined mid-map owns no shuffle partitions
+                # (unless recovery rehomed some to it): map/merge help
+                # only, nothing to reduce.
+                continue
             if len(self.reduce_kinds) == 1:
                 scheduler.place_reduce(i, managers[i].owned)
                 reduce_phases.append(ReducePhase(
@@ -387,6 +657,9 @@ class JobExecution:
                     config, self.backend, timeline, managers[i],
                     costs=self.costs, faults=self.faults, pids=pids))
         yield sim.all_of([rp.run() for rp in reduce_phases])
+        # Final commit: a coordinator crash mid-reduce resolves here, so
+        # the job's end time deterministically absorbs one failover.
+        yield from self.coordinator.require_leader()
         timeline.record("phase.reduce", "job", t2, sim.now)
         for rp in reduce_phases:
             rp.release_buffers()
@@ -395,6 +668,8 @@ class JobExecution:
         result_box["times"] = (t1 - t0, t2 - t1, sim.now - t2)
         result_box["t_start"] = t0
         result_box["t_end"] = sim.now
+        if not self.job_done.triggered:
+            self.job_done.succeed(None)
         if self.exclusive and self.session.telemetry is not None:
             self.session.telemetry.stop()
 
@@ -447,6 +722,18 @@ class JobExecution:
                               if self.exclusive else self.meter.bytes_moved),
             "splits": len(self.splits),
             "dead_nodes": self.health.dead_nodes,
+            "initial_active_nodes": len(self.initial_active),
+            "final_active_nodes": len(self.health.alive_nodes),
+            "joined_nodes": sorted(self.health.joined_at),
+            "departed_nodes": self.health.departed_nodes,
+            "membership_events": list(self.membership_events),
+            "coordinator_replicas": self.config.coordinator_replicas,
+            "coordinator_failovers": self.coordinator.failovers,
+            "coordinator_epoch": self.coordinator.epoch,
+            "elastic_scale_outs": (self._elastic.scale_outs
+                                   if self._elastic else 0),
+            "elastic_scale_ins": (self._elastic.scale_ins
+                                  if self._elastic else 0),
             "repushed_runs": repushed_runs,
             "reexecuted_splits": reexecuted_splits,
             "task_failures": faults.total_failures if faults else 0,
@@ -482,7 +769,8 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
                   cluster_spec: ClusterSpec,
                   config: Optional[JobConfig] = None,
                   costs: HostCosts = DEFAULT_HOST_COSTS,
-                  faults: Optional[FaultPlan] = None
+                  faults: Optional[FaultPlan] = None,
+                  elastic: Optional[ElasticPolicy] = None
                   ) -> GlasswingResult:
     """Run one Glasswing job on a fresh simulated cluster.
 
@@ -502,7 +790,8 @@ def run_glasswing(app: MapReduceApp, inputs: Dict[str, bytes],
     session = ClusterSession(cluster_spec,
                              metrics_interval=config.metrics_interval)
     execution = JobExecution(session, app, inputs, config=config,
-                             costs=costs, faults=faults, exclusive=True)
+                             costs=costs, faults=faults, exclusive=True,
+                             elastic=elastic)
     execution.start()
     session.run()
     return execution.result()

@@ -19,7 +19,17 @@ fault model covering the failures that dominate real clusters:
   :mod:`repro.core.recovery`);
 * **stragglers** — a task's kernel is slowed by a factor; the optional
   straggler detector launches a speculative duplicate on another node
-  with first-finisher-wins semantics.
+  with first-finisher-wins semantics;
+* **membership churn** — :class:`NodeJoin` activates a standby node
+  mid-job (it registers with the scheduler and starts stealing queued
+  map work), :class:`NodeLeave` drains an active node (its unfinished
+  work re-enters through the recovery path, but — unlike a crash — its
+  durable spill and DFS replicas stay readable, HDFS-decommissioning
+  style);
+* **coordinator crashes** — :class:`CoordinatorCrash` kills the current
+  control-plane leader; a standby replica is elected deterministically
+  (see :mod:`repro.core.membership`) and resumes from the shared
+  ``ShuffleRegistry``/:class:`ClusterHealth` state.
 
 A :class:`FaultPlan` declares the schedule, either deterministically or
 from a seed (:meth:`FaultPlan.seeded`).  The headline guarantee, locked
@@ -35,13 +45,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 __all__ = [
     "FaultPlan",
     "FaultInjector",
     "TaskFailure",
     "NodeCrash",
+    "NodeJoin",
+    "NodeLeave",
+    "CoordinatorCrash",
     "ClusterHealth",
     "TaskFailedError",
 ]
@@ -85,6 +98,65 @@ class NodeCrash:
             raise ValueError("crash node must be a valid node id")
         if self.at < 0:
             raise ValueError("crash time must be non-negative")
+
+
+@dataclass(frozen=True)
+class NodeJoin:
+    """One scale-out event: ``node`` becomes active at virtual time ``at``.
+
+    ``node=None`` resolves at fire time to the lowest-id standby
+    (auto-scaling-group semantics); an explicit node must currently be a
+    standby or the event is a recorded no-op.  Joins landing after the
+    shuffle completed are no-ops — there is no map work left to steal.
+    """
+
+    node: Optional[int]
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.node is not None and self.node < 0:
+            raise ValueError("join node must be a valid node id or None")
+        if self.at < 0:
+            raise ValueError("join time must be non-negative")
+
+
+@dataclass(frozen=True)
+class NodeLeave:
+    """One scale-in event: ``node`` drains out of the job at time ``at``.
+
+    ``node=None`` resolves at fire time to the highest-id live node.
+    The last live node never leaves, and leaves landing after the
+    shuffle completed are no-ops (the node holds nothing volatile any
+    more).  Draining differs from crashing: the departed node's durable
+    spill and DFS replicas remain readable, so recovery usually re-pushes
+    instead of re-executing.
+    """
+
+    node: Optional[int]
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.node is not None and self.node < 0:
+            raise ValueError("leave node must be a valid node id or None")
+        if self.at < 0:
+            raise ValueError("leave time must be non-negative")
+
+
+@dataclass(frozen=True)
+class CoordinatorCrash:
+    """Kill the control-plane leader at virtual time ``at``.
+
+    The next control-plane barrier elects a standby replica (lowest
+    surviving id) after one ``JobConfig.failover_timeout`` delay; with a
+    single replica the job dies — that is the pre-HA behavior, now
+    opt-out via ``JobConfig.coordinator_replicas``.
+    """
+
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("coordinator crash time must be non-negative")
 
 
 def _validate_progress(progress: ProgressSpec) -> None:
@@ -138,6 +210,9 @@ class FaultPlan:
     node_crashes: Tuple[NodeCrash, ...] = ()
     stragglers: Dict[int, float] = field(default_factory=dict)
     progress_at_failure: ProgressSpec = 0.5
+    node_joins: Tuple[NodeJoin, ...] = ()
+    node_leaves: Tuple[NodeLeave, ...] = ()
+    coordinator_crashes: Tuple[CoordinatorCrash, ...] = ()
     failures: List[TaskFailure] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -154,6 +229,20 @@ class FaultPlan:
             if crash.node in seen:
                 raise ValueError(f"node {crash.node} crashes more than once")
             seen.add(crash.node)
+        self.node_joins = tuple(self.node_joins)
+        self.node_leaves = tuple(self.node_leaves)
+        self.coordinator_crashes = tuple(self.coordinator_crashes)
+        for label, events in (("joins", self.node_joins),
+                              ("leaves", self.node_leaves)):
+            explicit = [e.node for e in events if e.node is not None]
+            if len(explicit) != len(set(explicit)):
+                raise ValueError(f"duplicate explicit node in {label}")
+
+    @property
+    def has_membership_events(self) -> bool:
+        """True when the plan schedules any join/leave/coordinator event."""
+        return bool(self.node_joins or self.node_leaves
+                    or self.coordinator_crashes)
 
     # -- schedule queries --------------------------------------------------
     def should_fail_map(self, split_index: int, attempt: int) -> bool:
@@ -203,7 +292,10 @@ class FaultPlan:
                straggler_rate: float = 0.0, straggler_slowdown: float = 4.0,
                node_crash_count: int = 0,
                crash_window: Tuple[float, float] = (0.0, 1.0),
-               max_failures_per_task: int = 2) -> "FaultPlan":
+               max_failures_per_task: int = 2,
+               node_join_count: int = 0, node_leave_count: int = 0,
+               coordinator_crash_count: int = 0,
+               membership_window: Tuple[float, float] = (0.0, 1.0)) -> "FaultPlan":
         """Seeded-random plan: every draw comes from ``random.Random(seed)``
         so the same seed always yields the same schedule (and therefore,
         with the deterministic simulator, the same timeline).
@@ -212,6 +304,13 @@ class FaultPlan:
         ``1..max_failures_per_task`` times.  ``node_crash_count`` nodes
         (never node 0, so a coordinator-style survivor always remains)
         crash at times drawn uniformly from ``crash_window``.
+
+        ``node_join_count`` / ``node_leave_count`` /
+        ``coordinator_crash_count`` schedule that many auto-resolved
+        membership events at times drawn uniformly from
+        ``membership_window``; the draws are appended after the classic
+        ones, so a given seed's crash/straggler schedule is unchanged by
+        also requesting membership churn.
         """
         rng = random.Random(seed)
         map_failures: Dict[int, int] = {}
@@ -237,9 +336,18 @@ class FaultPlan:
             lo, hi = crash_window
             crashes = [NodeCrash(v, round(rng.uniform(lo, hi), 6))
                        for v in sorted(victims)]
+        mlo, mhi = membership_window
+        joins = tuple(NodeJoin(None, round(rng.uniform(mlo, mhi), 6))
+                      for _ in range(node_join_count))
+        leaves = tuple(NodeLeave(None, round(rng.uniform(mlo, mhi), 6))
+                       for _ in range(node_leave_count))
+        coord = tuple(CoordinatorCrash(round(rng.uniform(mlo, mhi), 6))
+                      for _ in range(coordinator_crash_count))
         return cls(map_failures=map_failures, reduce_failures=reduce_failures,
                    node_crashes=tuple(crashes), stragglers=stragglers,
-                   progress_at_failure=progress if progress else 0.5)
+                   progress_at_failure=progress if progress else 0.5,
+                   node_joins=joins, node_leaves=leaves,
+                   coordinator_crashes=coord)
 
 
 class FaultInjector(FaultPlan):
@@ -268,33 +376,96 @@ class FaultInjector(FaultPlan):
 
 
 class ClusterHealth:
-    """Liveness of the cluster's nodes during one job.
+    """Liveness and membership of the cluster's nodes during one job.
 
-    Written by the engine's crash monitors; read by the phases (skip
-    deliveries to dead peers), the DFS (serve reads from live replicas)
-    and the recovery coordinator.
+    Written by the engine's crash/membership monitors; read by the
+    phases (skip deliveries to dead peers), the DFS (serve reads from
+    live replicas) and the recovery coordinator.
+
+    A node is in exactly one of four states:
+
+    * **active** — alive and participating (``alive()`` true);
+    * **standby** (``inactive``) — hardware exists but is not part of
+      this job yet; a :class:`NodeJoin` activates it;
+    * **departed** — drained out mid-job.  Not ``alive()`` (it takes no
+      new work and receives no deliveries) but ``storage_alive()`` —
+      its durable spill and DFS replicas remain readable, so recovery
+      can re-push instead of re-executing;
+    * **dead** — crashed.  Neither alive nor a storage source.
+
+    ``active=None`` (the default) activates every node, reproducing the
+    pre-elastic behavior bit-identically.
     """
 
-    def __init__(self, n_nodes: int):
+    def __init__(self, n_nodes: int,
+                 active: Optional[Sequence[int]] = None):
         self.n_nodes = n_nodes
         self.dead_at: Dict[int, float] = {}
+        self.departed_at: Dict[int, float] = {}
+        self.joined_at: Dict[int, float] = {}
+        if active is None:
+            self.inactive: Set[int] = set()
+        else:
+            ids = set(active)
+            if not ids or any(not (0 <= n < n_nodes) for n in ids):
+                raise ValueError(
+                    f"active ids {sorted(ids)} outside the "
+                    f"{n_nodes}-node cluster")
+            self.inactive = set(range(n_nodes)) - ids
 
     def alive(self, node: int) -> bool:
-        return node not in self.dead_at
+        return (node not in self.dead_at and node not in self.departed_at
+                and node not in self.inactive)
+
+    def storage_alive(self, node: int) -> bool:
+        """Can ``node`` still *serve* durable bytes?  Departed (drained)
+        nodes can; dead and standby nodes cannot."""
+        return node not in self.dead_at and node not in self.inactive
 
     def mark_dead(self, node: int, at: float) -> None:
         if not (0 <= node < self.n_nodes):
             raise ValueError(f"unknown node {node}")
         self.dead_at.setdefault(node, at)
 
+    def mark_departed(self, node: int, at: float) -> None:
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"unknown node {node}")
+        if node in self.inactive:
+            raise ValueError(f"standby node {node} cannot depart")
+        self.departed_at.setdefault(node, at)
+
+    def activate(self, node: int, at: float) -> None:
+        """A standby node joins the active set."""
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"unknown node {node}")
+        if node not in self.inactive:
+            raise ValueError(f"node {node} is not a standby")
+        self.inactive.discard(node)
+        self.joined_at.setdefault(node, at)
+
     @property
     def any_dead(self) -> bool:
         return bool(self.dead_at)
 
     @property
+    def needs_recovery(self) -> bool:
+        """True when any node crashed *or* drained out — both lose
+        volatile intermediate state that recovery must restore."""
+        return bool(self.dead_at or self.departed_at)
+
+    @property
     def alive_nodes(self) -> List[int]:
-        return [n for n in range(self.n_nodes) if n not in self.dead_at]
+        return [n for n in range(self.n_nodes) if self.alive(n)]
 
     @property
     def dead_nodes(self) -> List[int]:
         return sorted(self.dead_at)
+
+    @property
+    def departed_nodes(self) -> List[int]:
+        return sorted(self.departed_at)
+
+    @property
+    def gone_nodes(self) -> List[int]:
+        """Crashed and departed nodes — everything recovery must re-home."""
+        return sorted(set(self.dead_at) | set(self.departed_at))

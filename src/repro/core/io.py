@@ -118,14 +118,18 @@ class DFSBackend(StorageBackend):
         if self.dfs.exists(path):
             raise FileExistsError(path)
         from repro.storage.dfs import _Block
-        n = len(self.dfs.cluster)
-        rep = min(self.dfs.replication, n)
+        # Writers spread over the placement pool (the initially-active
+        # subset for elastic jobs, the whole cluster otherwise) so an
+        # elastic baseline never depends on standby hardware.
+        pool = self.dfs.placement_nodes \
+            if self.dfs.placement_nodes is not None \
+            else list(range(len(self.dfs.cluster)))
+        rep = min(self.dfs.replication, len(pool))
         blocks = []
-        writer = 0
         for index, start in enumerate(
                 range(0, max(len(data), 1), self.dfs.block_size)):
             chunk = data[start:start + self.dfs.block_size]
-            writer = index % n  # spread "original writers" over the cluster
+            writer = pool[index % len(pool)]
             block = _Block(next(self.dfs._block_ids), len(chunk),
                            self.dfs._place_replicas(writer, rep, index))
             for replica in block.replicas:

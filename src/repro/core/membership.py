@@ -1,0 +1,288 @@
+"""Elastic cluster membership and coordinator replication.
+
+The paper's cluster is fixed-size with a single immortal coordinator;
+production clusters grow, shrink and lose their control plane.  This
+module adds the three missing pieces:
+
+* :class:`CoordinatorGroup` — a replicated control plane with
+  deterministic leader election.  The data plane (pipelines, pushes,
+  merges) never talks to the coordinator mid-flight; the *control*
+  plane — membership transitions and phase commits — passes through
+  :meth:`CoordinatorGroup.require_leader`, a barrier that charges one
+  failover delay when the previous leader died and then elects the
+  lowest-id surviving replica.  All job state a new leader needs (the
+  :class:`~repro.core.coordinator.ShuffleRegistry` delivery ledger and
+  the :class:`~repro.core.faults.ClusterHealth` view) is shared, so a
+  failover changes job *time* but never job *output*.
+
+* :class:`ElasticPolicy` / :class:`ElasticController` — auto-scaling-
+  group style scale-out/in driven by the PR4 telemetry saturation
+  signal (mean CPU busy fraction over the active nodes), with
+  high/low watermarks and a cooldown so one load spike does not flap
+  the pool.
+
+* :class:`ElasticPool` — the service layer's shared view of which
+  hardware nodes are currently active; scale events update the pool and
+  are broadcast to every running job, while jobs dispatched later
+  snapshot the new active set.
+
+Membership semantics (see ``docs/elasticity.md``): a **joining** node
+registers with the job's scheduler and starts stealing queued map work
+with zero engine changes; a **leaving** node *drains* — its unfinished
+work re-enters the scheduler through the PR1 recovery path (durable
+re-push or split re-execution) and, unlike a *crashed* node, its durable
+spill and DFS replicas remain readable (HDFS-decommissioning
+semantics), so draining is usually a cheap re-push rather than a full
+re-execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.simt.core import Event, Simulator
+from repro.simt.trace import Timeline
+
+__all__ = ["CoordinatorGroup", "ElasticPolicy", "ElasticController",
+           "ElasticPool"]
+
+
+class CoordinatorGroup:
+    """A replicated coordinator with deterministic leader election.
+
+    Replicas are logical control-plane instances numbered ``0..r-1``;
+    replica 0 leads initially.  :meth:`crash_leader` (driven by the
+    fault plan's ``coordinator_crashes``) kills the current leader;
+    the next :meth:`require_leader` barrier then runs one election —
+    every concurrent waiter joins the *same* election, so the
+    ``failover_timeout`` is charged exactly once — and installs the
+    lowest-id surviving replica.  Election is pure bookkeeping over
+    shared state, hence deterministic and output-invariant.
+    """
+
+    def __init__(self, sim: Simulator, timeline: Optional[Timeline] = None,
+                 replicas: int = 1, failover_timeout: float = 0.0,
+                 name: str = "coord"):
+        if replicas < 1:
+            raise ValueError("coordinator_replicas must be >= 1")
+        if failover_timeout < 0:
+            raise ValueError("failover_timeout must be >= 0")
+        self.sim = sim
+        self.timeline = timeline
+        self.name = name
+        self.replicas = list(range(replicas))
+        self.dead: Dict[int, float] = {}
+        self.leader: Optional[int] = 0
+        self.epoch = 0                  # bumps on every leadership change
+        self.failovers = 0
+        self.failover_timeout = failover_timeout
+        self._election: Optional[Event] = None
+
+    # -- state queries -----------------------------------------------------
+    def alive_replicas(self) -> List[int]:
+        return [r for r in self.replicas if r not in self.dead]
+
+    @property
+    def has_leader(self) -> bool:
+        return self.leader is not None
+
+    # -- failure injection -------------------------------------------------
+    def crash_leader(self, at: Optional[float] = None) -> Optional[int]:
+        """Kill the current leader (or, mid-election, the replica that
+        would win it).  Returns the victim id, or ``None`` when every
+        replica is already dead."""
+        at = self.sim.now if at is None else at
+        victim = self.leader
+        if victim is None:
+            alive = self.alive_replicas()
+            victim = alive[0] if alive else None
+        if victim is None:
+            return None
+        self.dead[victim] = at
+        self.leader = None
+        if self.timeline is not None:
+            self.timeline.record("coord.crash", f"{self.name}{victim}",
+                                 at, at, replica=victim)
+        return victim
+
+    # -- the control-plane barrier -----------------------------------------
+    def require_leader(self):
+        """Barrier generator: returns the leader id, electing one first
+        when the previous leader died.  Free (no yield, no simulated
+        time) while the leader is healthy — the common case."""
+        if self.leader is not None:
+            return self.leader
+        if self._election is None:
+            self._election = Event(self.sim)
+            self.sim.process(self._elect(), name=f"{self.name}.election")
+        election = self._election
+        yield election
+        if self.leader is None:
+            raise RuntimeError(
+                "control plane lost: every coordinator replica is dead "
+                f"(crashed: {sorted(self.dead)})")
+        return self.leader
+
+    def _elect(self):
+        start = self.sim.now
+        if self.failover_timeout > 0:
+            # Failure detection + election rounds, modeled as one fixed
+            # delay (deterministic: the winner is a pure function of
+            # which replicas are alive, not of message timing).
+            yield self.sim.timeout(self.failover_timeout)
+        election, self._election = self._election, None
+        alive = self.alive_replicas()
+        if alive:
+            self.leader = alive[0]      # lowest alive id wins, always
+            self.epoch += 1
+            self.failovers += 1
+            if self.timeline is not None:
+                self.timeline.record(
+                    "coord.failover", f"{self.name}{self.leader}",
+                    start, self.sim.now, leader=self.leader,
+                    epoch=self.epoch)
+        election.succeed(self.leader)
+
+
+@dataclass(frozen=True)
+class ElasticPolicy:
+    """Auto-scaling-group policy for one job's elastic node pool.
+
+    The controller samples the mean CPU busy fraction over the active
+    nodes every ``interval`` simulated seconds; sustained saturation
+    above ``high_watermark`` joins the lowest-id standby, idling below
+    ``low_watermark`` drains the highest-id active node, and
+    ``cooldown`` spaces consecutive scale actions so one sample spike
+    cannot flap the pool.
+    """
+
+    min_nodes: int = 1
+    max_nodes: Optional[int] = None
+    high_watermark: float = 0.85
+    low_watermark: float = 0.15
+    interval: float = 0.02
+    cooldown: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.min_nodes < 1:
+            raise ValueError("min_nodes must be >= 1")
+        if self.max_nodes is not None and self.max_nodes < self.min_nodes:
+            raise ValueError("max_nodes must be >= min_nodes")
+        if not (0.0 <= self.low_watermark < self.high_watermark <= 1.0):
+            raise ValueError(
+                "watermarks must satisfy 0 <= low < high <= 1")
+        if self.interval <= 0:
+            raise ValueError("interval must be > 0")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+
+
+class ElasticController:
+    """The scale-out/in loop of one job (auto-scaling-group pattern).
+
+    Runs as a simulated process racing the job's ``shuffle_done`` event
+    (membership only changes during the map/shuffle window); every
+    action goes through the job's join/leave path, so controller-driven
+    scaling is indistinguishable from a fault-plan schedule — and
+    equally output-invariant.
+    """
+
+    def __init__(self, execution, policy: ElasticPolicy):
+        self.execution = execution
+        self.policy = policy
+        self.scale_outs = 0
+        self.scale_ins = 0
+
+    def _mean_busy(self) -> float:
+        cluster = self.execution.session.cluster
+        nodes = self.execution.health.alive_nodes
+        if not nodes:
+            return 0.0
+        return sum(cluster[n].cpu.busy_fraction() for n in nodes) / len(nodes)
+
+    def run(self):
+        sim = self.execution.session.sim
+        policy = self.policy
+        stop = self.execution.shuffle_done
+        last_action = -policy.cooldown - 1.0
+        while True:
+            idx, _ = yield sim.any_of([sim.timeout(policy.interval), stop])
+            if idx != 0:
+                return
+            health = self.execution.health
+            active = len(health.alive_nodes)
+            if sim.now - last_action < policy.cooldown:
+                continue
+            busy = self._mean_busy()
+            cap = (policy.max_nodes if policy.max_nodes is not None
+                   else health.n_nodes)
+            if (busy >= policy.high_watermark and active < cap
+                    and health.inactive):
+                self.execution.inject_join(None)
+                self.scale_outs += 1
+                last_action = sim.now
+            elif busy <= policy.low_watermark and active > policy.min_nodes:
+                self.execution.inject_leave(None)
+                self.scale_ins += 1
+                last_action = sim.now
+
+
+class ElasticPool:
+    """The service layer's shared active-node ledger.
+
+    One pool per :class:`~repro.service.server.JobServer`; scale events
+    move hardware nodes between the ``active`` and ``standby`` sets.
+    Running jobs are notified by the server; jobs dispatched later
+    snapshot :attr:`active` as their initial membership.
+    """
+
+    def __init__(self, n_nodes: int,
+                 active: Union[int, Sequence[int], None] = None):
+        if n_nodes < 1:
+            raise ValueError("the pool needs at least one node")
+        if active is None:
+            ids = list(range(n_nodes))
+        elif isinstance(active, int):
+            if not (1 <= active <= n_nodes):
+                raise ValueError(
+                    f"active node count {active} outside 1..{n_nodes}")
+            ids = list(range(active))
+        else:
+            ids = sorted(set(active))
+            if not ids or any(not (0 <= n < n_nodes) for n in ids):
+                raise ValueError(
+                    f"active ids {ids} outside the {n_nodes}-node cluster")
+        self.n_nodes = n_nodes
+        self.active: List[int] = ids
+        self.standby: List[int] = [n for n in range(n_nodes) if n not in ids]
+        self.events: List[Dict[str, Any]] = []
+
+    def scale_out(self, node: Optional[int] = None,
+                  at: float = 0.0) -> Optional[int]:
+        """Activate ``node`` (default: the lowest-id standby).  Returns
+        the activated node, or ``None`` when nothing can join."""
+        if node is None:
+            node = self.standby[0] if self.standby else None
+        if node is None or node not in self.standby:
+            return None
+        self.standby.remove(node)
+        self.active = sorted(self.active + [node])
+        self.events.append({"kind": "scale-out", "node": node, "at": at})
+        return node
+
+    def scale_in(self, node: Optional[int] = None,
+                 at: float = 0.0) -> Optional[int]:
+        """Drain ``node`` (default: the highest-id active node).  The
+        pool never drains its last node.  Returns the drained node, or
+        ``None`` when nothing can leave."""
+        if len(self.active) <= 1:
+            return None
+        if node is None:
+            node = self.active[-1]
+        if node not in self.active:
+            return None
+        self.active = [n for n in self.active if n != node]
+        self.standby = sorted(self.standby + [node])
+        self.events.append({"kind": "scale-in", "node": node, "at": at})
+        return node

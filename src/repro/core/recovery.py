@@ -166,16 +166,21 @@ def run_recovery(sim: Simulator, timeline: Timeline, cluster,
     survivors = health.alive_nodes
     if not survivors:
         raise RuntimeError("every node died; the job cannot complete")
-    # 1. Re-home the dead nodes' partitions: the scheduling policy picks
-    #    each partition's new owner (the base policy keeps the original
-    #    deterministic spread; load-aware policies balance ownership).
-    for dead in health.dead_nodes:
-        for pid in registry.owned_by(dead):
+    # 1. Re-home the gone nodes' partitions (crashed *and* departed — both
+    #    stop reducing): the scheduling policy picks each partition's new
+    #    owner (the base policy keeps the original deterministic spread;
+    #    load-aware policies balance ownership).
+    for gone in getattr(health, "gone_nodes", health.dead_nodes):
+        for pid in registry.owned_by(gone):
             new_owner = scheduler.rehome(pid, survivors, registry)
             registry.reassign(pid, new_owner)
             managers[new_owner].adopt_partition(pid)
-    # 2. Plan: cheap durable re-pushes vs full split re-execution.
-    repushes, reexec = registry.recovery_plan(splits, health.alive)
+    # 2. Plan: cheap durable re-pushes vs full split re-execution.  A
+    #    departed (drained) node still serves its durable spill — that is
+    #    what makes a drain cheaper than a crash.
+    repushes, reexec = registry.recovery_plan(
+        splits, health.alive,
+        durable_alive=getattr(health, "storage_alive", None))
     n_repushed = sum(len(entries) for entries in repushes.values())
     for split in reexec:
         timeline.record("recovery.reexec", "job", sim.now, sim.now,

@@ -15,6 +15,11 @@ and a private copy of the same affinity logic in the recovery path.  The
   survivors through :meth:`rehome`, and speculative copies pick their
   helper node through :meth:`pick_helper`, so fault tolerance is a
   scheduler re-enqueue rather than bespoke assignment code;
+* **elastic membership** — :meth:`node_joined` / :meth:`node_left`
+  maintain the policy's active set mid-job: a joining node starts
+  pulling queued work through the same ``next_for`` seam (the pull
+  interface is what makes joins zero engine change), and a leaving
+  node's queued work flows back to the remaining actives;
 * **observability** — every placement leaves a zero-length
   ``sched.place`` span on the timeline (exported to the Chrome trace),
   locality hits/misses and a per-node placement histogram accumulate in
@@ -81,6 +86,10 @@ class Scheduler:
         self.sim = sim
         self.timeline = timeline
         self.n_nodes = 0
+        self.active: List[int] = []
+        self._backend: Optional["StorageBackend"] = None
+        self.joins = 0
+        self.leaves = 0
         self.placements = 0
         self.locality_hits = 0
         self.locality_misses = 0
@@ -93,9 +102,16 @@ class Scheduler:
 
     # -- planning ----------------------------------------------------------
     def plan(self, splits: Sequence["Split"], backend: "StorageBackend",
-             n_nodes: int) -> None:
-        """Seed the policy with the job's map operations."""
+             n_nodes: int, active: Optional[Sequence[int]] = None) -> None:
+        """Seed the policy with the job's map operations.
+
+        ``active`` restricts initial placement to an explicit node subset
+        (elastic jobs start on part of the hardware); ``None`` means all
+        ``n_nodes`` participate, the classic behavior."""
         self.n_nodes = n_nodes
+        self.active = sorted(active) if active is not None \
+            else list(range(n_nodes))
+        self._backend = backend
         self._holders.update(holders_by_split(splits, backend))
         self._plan(splits, backend, n_nodes)
         self._register_gauges()
@@ -106,6 +122,32 @@ class Scheduler:
         """Enqueue the splits a node crash forces to re-execute."""
         self._holders.update(holders_by_split(splits, backend))
         self._plan_recovery(splits, backend, sorted(survivors))
+
+    # -- elastic membership ------------------------------------------------
+    def node_joined(self, node_id: int) -> None:
+        """A standby node became active mid-job: admit it to the active
+        set and let the policy fold it into its queues.  The node starts
+        pulling work through the ordinary ``next_for`` path immediately
+        after."""
+        if node_id not in self.active:
+            self.active = sorted(set(self.active) | {node_id})
+        self.joins += 1
+        self._node_joined(node_id)
+
+    def node_left(self, node_id: int) -> None:
+        """An active node is draining out: drop it from the active set
+        and let the policy re-route its queued (not-yet-pulled) work."""
+        self.active = [n for n in self.active if n != node_id]
+        self.leaves += 1
+        self._node_left(node_id)
+
+    def _node_joined(self, node_id: int) -> None:
+        """Policy hook; the default (global-pool policies) needs nothing —
+        a pull from the new node just works."""
+
+    def _node_left(self, node_id: int) -> None:
+        """Policy hook; the default (global-pool policies) needs nothing —
+        the departed node simply stops pulling."""
 
     # -- policy hooks ------------------------------------------------------
     def _plan(self, splits: Sequence["Split"], backend: "StorageBackend",
@@ -306,6 +348,8 @@ class Scheduler:
         """Placement counters for the job's stats block / report."""
         return {
             "scheduler": self.name,
+            "sched_joins": self.joins,
+            "sched_leaves": self.leaves,
             "placements": self.placements,
             "locality_hits": self.locality_hits,
             "locality_misses": self.locality_misses,

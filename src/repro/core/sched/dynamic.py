@@ -101,6 +101,25 @@ class DynamicLocalityScheduler(Scheduler):
         # Every survivor can pull from the shared recovery pool.
         return self._survivors
 
+    # -- elastic membership ------------------------------------------------
+    def _node_joined(self, node_id: int) -> None:
+        # The global pool needs no rebalancing — the joiner's first
+        # ``next_for`` steals the oldest split.  But locality preference
+        # is per-node state built at ``add`` time, so (re)build the
+        # joiner's local queue for any pooled split it holds a replica of
+        # (possible when the job shares a DFS laid out over more hardware
+        # than its initial active set).
+        for pool in (self._pool, self._recovery_pool):
+            queue = pool.local.setdefault(node_id, deque())
+            present = set(queue)
+            for index in pool.splits:
+                holders = self._holders.get(index)
+                if holders and node_id in holders and index not in present:
+                    queue.append(index)
+
+    # _node_left needs nothing: the departed node stops pulling and its
+    # stale ``local`` queue entries are skipped lazily by ``peek_local``.
+
     # -- load-aware fault tolerance ---------------------------------------
     def rehome(self, pid: int, survivors: Sequence[int],
                registry: Optional["ShuffleRegistry"] = None) -> int:

@@ -6,6 +6,13 @@ each node is handed its *largest* remaining local split (longest
 processing time first), falling back to the largest split anywhere.
 LPT ordering keeps the biggest operations from landing at the tail of
 the schedule, which is where static assignment loses on skew.
+
+Elastic membership is inherited from the dynamic policy and needs no
+LPT-specific handling: ``_peek`` re-scores the pool on every pull, so a
+node that joins mid-job immediately competes for the largest remaining
+split (exactly the OS4M goal — global balance maintained as the worker
+set changes), and a leaver's unpulled work is simply re-scored for
+whoever asks next.
 """
 
 from __future__ import annotations

@@ -35,7 +35,11 @@ class StaticAffinityScheduler(Scheduler):
 
     def _plan(self, splits: Sequence["Split"], backend: "StorageBackend",
               n_nodes: int) -> None:
-        assignment = affinity_assign(splits, backend, n_nodes)
+        # Restrict to the active subset only when one exists — the
+        # unrestricted call is the pre-elastic baseline, kept verbatim.
+        allowed = self.active if len(self.active) < n_nodes else None
+        assignment = affinity_assign(splits, backend, n_nodes,
+                                     allowed=allowed)
         self._queues = {n: deque(q) for n, q in assignment.items()}
 
     def _plan_recovery(self, splits: Sequence["Split"],
@@ -69,3 +73,31 @@ class StaticAffinityScheduler(Scheduler):
         # Only survivors that were actually assigned re-execution work run
         # a recovery pipeline (matches the pre-refactor engine).
         return sorted(n for n, q in self._recovery.items() if q)
+
+    # -- elastic membership ------------------------------------------------
+    # The static mapping is the one policy with no runtime pull freedom,
+    # so membership changes must *rebalance the mapping itself*: on a
+    # join every not-yet-pulled split is re-assigned over the new active
+    # set (the joiner steals its affinity share), and on a leave the
+    # departing node's queued splits are re-spread over the remainder.
+
+    def _node_joined(self, node_id: int) -> None:
+        remaining = [s for _, q in sorted(self._queues.items()) for s in q]
+        if not remaining or self._backend is None:
+            return
+        remaining.sort(key=lambda s: s.index)
+        assignment = affinity_assign(remaining, self._backend, self.n_nodes,
+                                     allowed=self.active)
+        self._queues = {n: deque(q) for n, q in assignment.items()}
+
+    def _node_left(self, node_id: int) -> None:
+        orphaned = list(self._queues.pop(node_id, ()))
+        orphaned.extend(self._recovery.pop(node_id, ()))
+        if not orphaned or self._backend is None or not self.active:
+            return
+        orphaned.sort(key=lambda s: s.index)
+        assignment = affinity_assign(orphaned, self._backend, self.n_nodes,
+                                     allowed=self.active)
+        for n, q in assignment.items():
+            if q:
+                self._queues.setdefault(n, deque()).extend(q)

@@ -40,6 +40,7 @@ __all__ = [
     "DEFAULT_WAIT_BOUNDS", "ensure_parent_dir", "render_series",
     "write_metrics_jsonl", "write_openmetrics", "write_metrics",
     "openmetrics_text", "validate_openmetrics",
+    "register_membership_gauges",
 ]
 
 #: histogram bucket bounds for simulated-seconds wait distributions
@@ -378,6 +379,41 @@ class Telemetry:
                     for (t0, v0), (t1, v1) in zip(pts, pts[1:]) if t1 > t0]
             out[render_series(name, labels)] = rows
         return out
+
+
+# -- membership gauges -----------------------------------------------------
+
+def register_membership_gauges(tele: Telemetry, health,
+                               coordinator=None, **labels: Any) -> None:
+    """Register the elastic-membership gauge family for one job.
+
+    ``health`` is the job's :class:`~repro.core.faults.ClusterHealth`;
+    ``coordinator`` its :class:`~repro.core.membership.CoordinatorGroup`
+    when control-plane replication is on.  These are the saturation-side
+    counterpart of the per-node CPU gauges: an auto-scaler reads CPU
+    busy fractions to *decide* and these gauges to *see what it did*.
+    """
+    tele.gauge("glasswing_membership_active_nodes",
+               help="nodes currently active in the job",
+               probe=lambda: float(len(health.alive_nodes)),
+               capacity=float(health.n_nodes), **labels)
+    tele.gauge("glasswing_membership_standby_nodes",
+               help="hardware nodes not (yet) part of the job",
+               probe=lambda: float(len(health.inactive)), **labels)
+    tele.gauge("glasswing_membership_departed_nodes",
+               help="nodes drained out of the job",
+               probe=lambda: float(len(health.departed_at)), **labels)
+    tele.gauge("glasswing_membership_dead_nodes",
+               help="nodes lost to crashes",
+               probe=lambda: float(len(health.dead_at)), **labels)
+    if coordinator is not None:
+        tele.gauge("glasswing_coordinator_alive_replicas",
+                   help="surviving control-plane replicas",
+                   probe=lambda: float(len(coordinator.alive_replicas())),
+                   capacity=float(len(coordinator.replicas)), **labels)
+        tele.gauge("glasswing_coordinator_epoch",
+                   help="leadership epoch (bumps on every failover)",
+                   probe=lambda: float(coordinator.epoch), **labels)
 
 
 # -- export ---------------------------------------------------------------

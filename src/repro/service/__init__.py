@@ -17,6 +17,7 @@ differential suite in ``tests/test_service_differential.py`` pins each
 app's concurrent output (and byte counters) to its solo run.
 """
 
+from repro.core.membership import ElasticPool
 from repro.service.admission import AdmissionQueue, ServicePolicy
 from repro.service.server import (JobRecord, JobServer, JobSubmission,
                                   ServiceResult)
@@ -24,7 +25,7 @@ from repro.service.trace import (JobRequest, dump_trace, load_trace,
                                  synthetic_trace)
 
 __all__ = [
-    "AdmissionQueue", "ServicePolicy",
+    "AdmissionQueue", "ServicePolicy", "ElasticPool",
     "JobServer", "JobSubmission", "JobRecord", "ServiceResult",
     "JobRequest", "synthetic_trace", "load_trace", "dump_trace",
 ]

@@ -36,6 +36,7 @@ from repro.core.config import JobConfig
 from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts
 from repro.core.engine import ClusterSession, GlasswingResult, JobExecution
 from repro.core.faults import FaultPlan
+from repro.core.membership import ElasticPool
 from repro.core.sched.crossjob import CrossJobArbiter
 from repro.hw.specs import ClusterSpec
 
@@ -216,12 +217,17 @@ class JobServer:
                  policy: Optional[ServicePolicy] = None,
                  config: Optional[JobConfig] = None,
                  costs: HostCosts = DEFAULT_HOST_COSTS,
-                 metrics_interval: Optional[float] = None):
+                 metrics_interval: Optional[float] = None,
+                 active_nodes: Optional[int] = None):
         self.policy = policy or ServicePolicy()
         self.base_config = config or JobConfig()
         self.costs = costs
         self.session = ClusterSession(cluster_spec,
                                       metrics_interval=metrics_interval)
+        # Shared elastic pool: every tenant sees the same active/standby
+        # ledger; scale events propagate to all running executions.
+        self.pool = ElasticPool(len(self.session.cluster),
+                                active=active_nodes)
         self.queue = AdmissionQueue(self.policy)
         self.arbiter = CrossJobArbiter(self.policy.arbiter)
         self.records: Dict[str, JobRecord] = {}
@@ -286,6 +292,52 @@ class JobServer:
                         name=f"svc.cancel.{record.name}")
         return record
 
+    # -- elastic pool ------------------------------------------------------
+    def scale_out(self, at: float, node: Optional[int] = None) -> None:
+        """Schedule a pool scale-out at ``at`` virtual seconds (``None``
+        activates the lowest-id standby).  Every job running at that
+        moment sees the node join; later dispatches snapshot the grown
+        pool."""
+        self._schedule_scale("out", at, node)
+
+    def scale_in(self, at: float, node: Optional[int] = None) -> None:
+        """Schedule a pool scale-in at ``at`` (``None`` drains the
+        highest-id active node; the last node never drains).  Running
+        jobs drain the node through their recovery path — only
+        re-homeable work moves, finished bytes stay attributed."""
+        self._schedule_scale("in", at, node)
+
+    def _schedule_scale(self, direction: str, at: float,
+                        node: Optional[int]) -> None:
+        if self._started:
+            raise RuntimeError("the server is already running; scale "
+                               "events must be registered before run()")
+        if at < 0:
+            raise ValueError("scale time must be non-negative")
+        self.session.sim.process(
+            self._scale(direction, at, node),
+            name=f"svc.scale-{direction}@{at}")
+
+    def _scale(self, direction: str, at: float, node: Optional[int]):
+        sim = self.session.sim
+        if at > 0:
+            yield sim.timeout(at)
+        if direction == "out":
+            picked = self.pool.scale_out(node=node, at=sim.now)
+        else:
+            picked = self.pool.scale_in(node=node, at=sim.now)
+        if picked is None:
+            return
+        self.session.timeline.record(
+            "svc.scale", f"node{picked}", sim.now, sim.now,
+            direction=direction, node=picked,
+            active=len(self.pool.active))
+        for record in sorted(self._running.values(), key=lambda r: r.seq):
+            if direction == "out":
+                record.execution.inject_join(picked)
+            else:
+                record.execution.inject_leave(picked)
+
     # -- simulated lifecycle ----------------------------------------------
     def _count(self, key: str) -> None:
         if self._instruments is not None:
@@ -349,12 +401,19 @@ class JobServer:
         self.session.timeline.record(
             "svc.queue", record.name, record.submit_at, sim.now,
             tenant=record.tenant, priority=record.priority)
+        # A restricted pool pins the job to the currently-active subset;
+        # a full pool passes None so per-job ``config.active_nodes``
+        # still applies (and the classic path stays byte-identical).
+        pool_active = (list(self.pool.active)
+                       if len(self.pool.active) < len(self.session.cluster)
+                       else None)
         record.execution = JobExecution(
             self.session, submission.app, submission.inputs,
             config=submission.config or self.base_config,
             costs=self.costs, faults=submission.faults,
             name=record.name,
-            timeline=self.session.timeline.fork(record.name))
+            timeline=self.session.timeline.fork(record.name),
+            active=pool_active)
         record.submission = None        # inputs now live in the backend
         record.execution.start()
         self._running[record.name] = record

@@ -24,6 +24,11 @@ Cost accounting stays byte-accurate:
 Invalidation rules (see ``docs/dag.md``): re-installing a path with
 different content drops its cached ranges, as does :meth:`invalidate`;
 an LRU bound (``capacity_bytes``) evicts the coldest ranges first.
+Elastic membership adds one more (see ``docs/elasticity.md``):
+:meth:`CacheAsideBackend.mark_departed` evicts every range a departing
+node held — pinned or not — because the entries model RAM on hardware
+that just left the pool; keeping them would both leak accounting bytes
+and hand a re-joining node a free (never re-paid-for) read.
 """
 
 from __future__ import annotations
@@ -64,6 +69,9 @@ class CacheAsideBackend(StorageBackend):
         self.hit_bytes = 0
         self.miss_bytes = 0
         self.evictions = 0
+        self._departed: Set[int] = set()
+        self.departure_evictions = 0
+        self.departure_eviction_bytes = 0
 
     # -- immutability declarations -----------------------------------------
     def pin(self, path: str) -> None:
@@ -78,6 +86,27 @@ class CacheAsideBackend(StorageBackend):
         stale = [key for key in self._entries if key[1] == path]
         for key in stale:
             self._cached_bytes -= len(self._entries.pop(key))
+
+    # -- elastic membership --------------------------------------------------
+    def mark_departed(self, node_id: int) -> None:
+        """``node_id`` left the pool: evict every range it held, pinned
+        entries included — its RAM is gone — and refuse to cache for it
+        until it re-joins (:meth:`mark_rejoined`)."""
+        self._departed.add(node_id)
+        self._evict_departed(node_id)
+
+    def mark_rejoined(self, node_id: int) -> None:
+        """A previously departed node is back; it re-pays for its reads
+        (nothing was retained) but may cache again."""
+        self._departed.discard(node_id)
+
+    def _evict_departed(self, node_id: int) -> None:
+        stale = [key for key in self._entries if key[0] == node_id]
+        for key in stale:
+            data = self._entries.pop(key)
+            self._cached_bytes -= len(data)
+            self.departure_evictions += 1
+            self.departure_eviction_bytes += len(data)
 
     # -- the cached read path ----------------------------------------------
     def read(self, node_id: int, path: str, offset: int,
@@ -100,7 +129,7 @@ class CacheAsideBackend(StorageBackend):
         data = yield from self.base.read(node_id, path, offset, length)
         self.misses += 1
         self.miss_bytes += len(data)
-        if path in self._pinned:
+        if path in self._pinned and node_id not in self._departed:
             self._insert(key, data)
         return data
 
@@ -133,7 +162,24 @@ class CacheAsideBackend(StorageBackend):
             "hit_rate_bytes": (self.hit_bytes / total) if total else 0.0,
             "cached_bytes": self._cached_bytes,
             "evictions": self.evictions,
+            "departure_evictions": self.departure_evictions,
+            "departure_eviction_bytes": self.departure_eviction_bytes,
+            "departed_nodes": sorted(self._departed),
             "pinned_paths": sorted(self._pinned),
+        }
+
+    def audit(self) -> Dict[str, Any]:
+        """Exact byte accounting + membership hygiene (chaos-suite hook):
+        the accounted total must equal the sum of resident entries and no
+        entry may belong to a departed node."""
+        actual = sum(len(data) for data in self._entries.values())
+        stale = sorted(key for key in self._entries
+                       if key[0] in self._departed)
+        return {
+            "accounted_bytes": self._cached_bytes,
+            "actual_bytes": actual,
+            "consistent": actual == self._cached_bytes and not stale,
+            "departed_keys": stale,
         }
 
     # -- delegation ---------------------------------------------------------
@@ -161,7 +207,11 @@ class CacheAsideBackend(StorageBackend):
         self.invalidate(path)
 
     def purge_caches(self) -> None:
-        """Purge the *page* caches only: the cache-aside entries model an
-        application-held buffer, not the OS page cache the paper's
-        pre-test ritual drops."""
+        """Purge the *page* caches, plus any entry held for a departed
+        node: pinned entries survive the purge only while their holder is
+        in the pool.  (Previously stale ``(node, path, offset, len)``
+        keys for departed hardware survived membership changes — both a
+        byte-accounting leak and a free read for a re-joining node.)"""
         self.base.purge_caches()
+        for node_id in sorted(self._departed):
+            self._evict_departed(node_id)

@@ -69,10 +69,16 @@ class DFS:
     jni:
         Access overhead model; pass ``None`` for native access (used when
         modelling Glasswing's direct local-FS mode for comparison).
+    placement_nodes:
+        When set, new blocks are placed only on these nodes (an elastic
+        job's initially-active subset) — standby hardware joining later
+        must never be a replica holder the baseline run depended on.
+        ``None`` places over the whole cluster, the classic behavior.
     """
 
     def __init__(self, cluster: Cluster, block_size: int = 8 * MiB,
-                 replication: int = 3, jni: Optional[JNIOverhead] = JNIOverhead()):
+                 replication: int = 3, jni: Optional[JNIOverhead] = JNIOverhead(),
+                 placement_nodes: Optional[List[int]] = None):
         if block_size < 1:
             raise ValueError("block_size must be positive")
         if replication < 1:
@@ -81,6 +87,13 @@ class DFS:
         self.block_size = block_size
         self.replication = replication
         self.jni = jni
+        if placement_nodes is not None:
+            placement_nodes = sorted(set(placement_nodes))
+            if not placement_nodes or any(
+                    not (0 <= n < len(cluster)) for n in placement_nodes):
+                raise ValueError(
+                    f"placement nodes {placement_nodes} outside the cluster")
+        self.placement_nodes = placement_nodes
         self.node_fs: List[LocalFS] = [LocalFS(node) for node in cluster]
         self._meta: Dict[str, List[_Block]] = {}
         self._block_ids = itertools.count()
@@ -93,7 +106,16 @@ class DFS:
         self.meter = None
 
     def _replica_alive(self, node: int) -> bool:
-        return self.health is None or self.health.alive(node)
+        """Can this replica still serve reads?  A *departed* (drained)
+        node can — decommissioned disks stay readable until the job ends
+        — so prefer the health view's ``storage_alive`` when it has one;
+        a crashed node's disk is gone either way."""
+        if self.health is None:
+            return True
+        can_serve = getattr(self.health, "storage_alive", None)
+        if can_serve is not None:
+            return can_serve(node)
+        return self.health.alive(node)
 
     # -- namespace -----------------------------------------------------------
     def exists(self, path: str) -> bool:
@@ -140,7 +162,9 @@ class DFS:
         if self.exists(path):
             raise FileExistsError(path)
         self._check_node(writer)
-        rep = min(replication or self.replication, len(self.cluster))
+        pool = self.placement_nodes if self.placement_nodes is not None \
+            else list(range(len(self.cluster)))
+        rep = min(replication or self.replication, len(pool))
         blocks: List[_Block] = []
         sim = self.cluster.sim
         for start in range(0, max(len(data), 1), self.block_size):
@@ -226,14 +250,31 @@ class DFS:
 
     def _place_replicas(self, writer: int, rep: int, block_index: int
                         ) -> Tuple[int, ...]:
-        """First replica local to the writer, the rest spread round-robin."""
-        n = len(self.cluster)
-        replicas = [writer]
-        candidate = (writer + 1 + block_index) % n
+        """First replica local to the writer, the rest spread round-robin
+        over the placement pool (the whole cluster unless restricted)."""
+        if self.placement_nodes is None:
+            n = len(self.cluster)
+            replicas = [writer]
+            candidate = (writer + 1 + block_index) % n
+            while len(replicas) < rep:
+                if candidate not in replicas:
+                    replicas.append(candidate)
+                candidate = (candidate + 1) % n
+            return tuple(replicas)
+        pool = self.placement_nodes
+        if writer in pool:
+            replicas = [writer]
+            pos = pool.index(writer)
+        else:
+            # A writer outside the pool (e.g. a joined node writing job
+            # output) anchors at its nearest pool position instead.
+            pos = writer % len(pool)
+            replicas = [pool[pos]]
+        candidate = (pos + 1 + block_index) % len(pool)
         while len(replicas) < rep:
-            if candidate not in replicas:
-                replicas.append(candidate)
-            candidate = (candidate + 1) % n
+            if pool[candidate] not in replicas:
+                replicas.append(pool[candidate])
+            candidate = (candidate + 1) % len(pool)
         return tuple(replicas)
 
     def _check_node(self, node_id: int) -> None:

@@ -1,0 +1,236 @@
+"""The chaos matrix: {wordcount, terasort, kmeans} × {double the
+cluster, halve it, coordinator crash mid-map, mid-reduce} × all three
+scheduling policies.
+
+Every cell asserts the headline elasticity guarantee — the output under
+membership churn is identical to the *static* run with the same initial
+active set — plus the bookkeeping the transition implies (who joined or
+drained, re-push vs re-execution, exactly one election delay per
+failover).  Unlike tests/core/test_fault_matrix.py this matrix spans
+all schedulers: membership transitions go through the scheduler seam
+(``node_joined``/``node_left``), so every policy must honor them.
+"""
+
+import functools
+
+import pytest
+
+from repro.apps import KMeansApp, TeraSortApp, WordCountApp
+from repro.apps.datagen import (kmeans_centers, kmeans_points, teragen,
+                                wiki_text)
+from repro.core import JobConfig, run_glasswing
+from repro.core.faults import (CoordinatorCrash, FaultPlan, NodeJoin,
+                               NodeLeave)
+from repro.hw.presets import das4_cluster
+from repro.storage.records import NO_COMPRESSION
+
+from tests.conftest import assert_outputs_match
+
+NODES = 4
+HALF = NODES // 2
+SCHEDULERS = ("static-affinity", "dynamic-locality", "oplevel")
+REPLICAS = 3
+#: Election delay, well under these small jobs' map extent — a delay
+#: comparable to the map phase would (correctly) turn transitions queued
+#: behind a failover into after-shuffle no-ops.
+FAILOVER = 2e-4
+
+
+def canonical(result):
+    return sorted(result.output_pairs(), key=repr)
+
+
+class AppCase:
+    """One application column; chaos cells run on the DFS backend so
+    joins/leaves interact with replicated input placement."""
+
+    exact = True
+
+    def config(self, scheduler, **overrides):
+        return JobConfig(storage="dfs", input_replication=3,
+                         scheduler=scheduler, **self.tuning(), **overrides)
+
+    def run(self, scheduler, faults=None, **overrides):
+        return run_glasswing(self.app(), self.inputs(),
+                             das4_cluster(nodes=NODES),
+                             self.config(scheduler, **overrides),
+                             faults=faults)
+
+    def assert_same_output(self, res, golden):
+        if self.exact:
+            assert canonical(res) == canonical(golden)
+        else:
+            assert_outputs_match(res.output_pairs(), golden.output_pairs())
+
+
+class WordCount(AppCase):
+    def app(self):
+        return WordCountApp()
+
+    def inputs(self):
+        return {"wiki": wiki_text(150_000, seed=81)}
+
+    def tuning(self):
+        return dict(chunk_size=16_384)
+
+
+class TeraSort(AppCase):
+    DATA = teragen(1_500, seed=82)
+
+    def app(self):
+        return TeraSortApp.from_input(self.DATA)
+
+    def inputs(self):
+        return {"tera": self.DATA}
+
+    def tuning(self):
+        return dict(chunk_size=15_000, output_replication=1,
+                    compression=NO_COMPRESSION)
+
+
+class KMeans(AppCase):
+    exact = False    # float-sum reduction may reassociate
+
+    def app(self):
+        return KMeansApp(kmeans_centers(8, 4, seed=84))
+
+    def inputs(self):
+        return {"points": kmeans_points(8_000, 4, seed=83)}
+
+    def tuning(self):
+        return dict(chunk_size=16_384)
+
+
+CASES = {"wordcount": WordCount(), "terasort": TeraSort(), "kmeans": KMeans()}
+
+
+@functools.lru_cache(maxsize=None)
+def golden(app, scheduler, active_nodes=None, replicas=1):
+    """Static (chaos-free) reference run for one cell shape."""
+    overrides = {}
+    if active_nodes is not None:
+        overrides["active_nodes"] = active_nodes
+    if replicas != 1:
+        overrides.update(coordinator_replicas=replicas,
+                         failover_timeout=FAILOVER)
+    return CASES[app].run(scheduler, **overrides)
+
+
+@pytest.fixture(params=sorted(CASES))
+def app(request):
+    return request.param
+
+
+@pytest.fixture(params=SCHEDULERS)
+def scheduler(request):
+    return request.param
+
+
+def test_double_the_cluster(app, scheduler):
+    """Start on half the nodes; the other half joins mid-map.  Output
+    must match the static half-cluster run (the partition space is
+    pinned to the initial actives) and growth must never slow the job."""
+    case = CASES[app]
+    base = golden(app, scheduler, active_nodes=HALF)
+    joins = tuple(NodeJoin(None, (0.25 + 0.2 * i) * base.map_time)
+                  for i in range(NODES - HALF))
+    res = case.run(scheduler, faults=FaultPlan(node_joins=joins),
+                   active_nodes=HALF)
+    case.assert_same_output(res, base)
+    assert res.stats["leaked_buffer_slots"] == 0
+    # Auto-joins resolve to the lowest standby first.
+    assert res.stats["joined_nodes"] == list(range(HALF, NODES))
+    assert res.stats["final_active_nodes"] == NODES
+    # Timing is policy-dependent at this tiny scale: under
+    # static-affinity growth stays within noise of the static run (the
+    # strict never-slower claim is asserted at bench scale by
+    # repro.bench.elastic), while the pull-based policies may hand a
+    # joiner a remote-input split whose fetch stretches the tail — the
+    # cost must stay bounded, not zero.
+    bound = 1.1 if scheduler == "static-affinity" else 2.0
+    assert res.job_time <= base.job_time * bound
+
+
+def test_halve_the_cluster(app, scheduler):
+    """Start on all nodes; half drain mid-map through the recovery
+    path.  Output must match the static full-cluster run, and because
+    drained spill stays readable the lost work re-homes at least partly
+    by re-push rather than only re-execution."""
+    case = CASES[app]
+    base = golden(app, scheduler)
+    leaves = tuple(NodeLeave(None, (0.25 + 0.2 * i) * base.map_time)
+                   for i in range(NODES - HALF))
+    res = case.run(scheduler, faults=FaultPlan(node_leaves=leaves))
+    case.assert_same_output(res, base)
+    assert res.stats["leaked_buffer_slots"] == 0
+    # Auto-leaves drain the highest live node first.
+    assert res.stats["departed_nodes"] == list(range(HALF, NODES))
+    assert res.stats["dead_nodes"] == []
+    assert res.stats["final_active_nodes"] == HALF
+    assert res.stats["repushed_runs"] > 0
+    assert res.job_time >= base.job_time
+
+
+@pytest.mark.parametrize("phase", ["map", "reduce"])
+def test_coordinator_failover(app, scheduler, phase):
+    """Kill the control-plane leader mid-map or mid-reduce.  The
+    standby takes over at byte-identical output, and each failover
+    costs exactly one election delay."""
+    case = CASES[app]
+    base = golden(app, scheduler, replicas=REPLICAS)
+    if phase == "map":
+        at = 0.4 * base.map_time
+    else:
+        at = (base.job_time - base.reduce_time) + 0.5 * base.reduce_time
+    res = case.run(scheduler,
+                   faults=FaultPlan(coordinator_crashes=(CoordinatorCrash(at),)),
+                   coordinator_replicas=REPLICAS, failover_timeout=FAILOVER)
+    case.assert_same_output(res, base)
+    assert res.stats["leaked_buffer_slots"] == 0
+    assert res.stats["coordinator_failovers"] == 1
+    assert res.stats["coordinator_epoch"] == 1
+    assert res.job_time == pytest.approx(base.job_time + FAILOVER)
+
+
+def test_double_and_failover_compose(app):
+    """Scale-out queued behind a failover: both joins must still land
+    (on distinct standbys) once the new leader is elected."""
+    case = CASES[app]
+    scheduler = "static-affinity"
+    base = golden(app, scheduler, active_nodes=HALF, replicas=REPLICAS)
+    crash_at = 0.3 * base.map_time
+    plan = FaultPlan(
+        coordinator_crashes=(CoordinatorCrash(crash_at),),
+        node_joins=tuple(NodeJoin(None, crash_at + i * FAILOVER / 10)
+                         for i in range(NODES - HALF)))
+    res = case.run(scheduler, faults=plan, active_nodes=HALF,
+                   coordinator_replicas=REPLICAS, failover_timeout=FAILOVER)
+    case.assert_same_output(res, base)
+    assert res.stats["joined_nodes"] == list(range(HALF, NODES))
+    assert res.stats["coordinator_failovers"] == 1
+    assert res.stats["leaked_buffer_slots"] == 0
+
+
+def test_single_replica_crash_is_fatal(app):
+    """Without HA replicas the pre-elastic behavior is preserved: a
+    coordinator crash kills the job."""
+    case = CASES[app]
+    base = golden(app, "static-affinity")
+    plan = FaultPlan(coordinator_crashes=(CoordinatorCrash(0.5 * base.map_time),))
+    with pytest.raises(RuntimeError, match="every coordinator replica"):
+        case.run("static-affinity", faults=plan)
+
+
+def test_membership_after_shuffle_is_ignored(app):
+    """Joins and leaves landing after the shuffle window are recorded
+    no-ops: there is no map work to steal and nothing volatile to
+    drain."""
+    case = CASES[app]
+    base = golden(app, "static-affinity")
+    plan = FaultPlan(node_joins=(NodeJoin(None, base.job_time * 10),),
+                     node_leaves=(NodeLeave(None, base.job_time * 20),))
+    res = case.run("static-affinity", faults=plan)
+    case.assert_same_output(res, base)
+    assert res.stats["joined_nodes"] == []
+    assert res.stats["departed_nodes"] == []
+    assert res.job_time == pytest.approx(base.job_time)

@@ -1,0 +1,138 @@
+"""Property-based chaos: arbitrary seeded join/leave/failover schedules
+must leave the job output identical to the static run, leak nothing and
+replay deterministically.
+
+Mirrors tests/core/test_fault_properties.py: with ``hypothesis``
+installed the schedules are drawn from a strategy; without it a fixed
+seed sweep keeps the invariants locked in.  The application and the
+scheduling policy are both derived from the seed, so the sweep roams
+the whole {app} x {scheduler} x {schedule} space.
+"""
+
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:    # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+from repro.core.faults import FaultPlan
+
+from tests.core.test_chaos_matrix import (CASES, FAILOVER, HALF, NODES,
+                                          REPLICAS, SCHEDULERS, canonical,
+                                          golden)
+
+FALLBACK_SEEDS = tuple(range(10))
+
+
+def _pick(seed):
+    """(app, scheduler) for one seed — roams the full product space."""
+    apps = sorted(CASES)
+    return apps[seed % len(apps)], SCHEDULERS[(seed // len(apps)) % len(SCHEDULERS)]
+
+
+def _seeded_plan(seed, reference):
+    """Random membership churn (plus a sprinkle of classic map crashes)
+    inside the reference run's map window."""
+    return FaultPlan.seeded(
+        seed, n_splits=8, map_rate=0.15,
+        node_join_count=seed % (NODES - HALF + 1),
+        node_leave_count=(seed // 5) % 2,
+        coordinator_crash_count=(seed // 7) % REPLICAS,
+        membership_window=(0.1 * reference.map_time,
+                           0.9 * reference.map_time))
+
+
+def _run_chaos(seed):
+    app, scheduler = _pick(seed)
+    case = CASES[app]
+    base = golden(app, scheduler, active_nodes=HALF, replicas=REPLICAS)
+    plan = _seeded_plan(seed, base)
+    res = case.run(scheduler, faults=plan, active_nodes=HALF,
+                   coordinator_replicas=REPLICAS,
+                   failover_timeout=FAILOVER)
+    return case, base, plan, res
+
+
+def check_output_invariant(seed):
+    """Completing at all = no deadlock; then the headline guarantee plus
+    conservation of every membership resource."""
+    case, base, plan, res = _run_chaos(seed)
+    case.assert_same_output(res, base)
+    assert res.stats["leaked_buffer_slots"] == 0
+    # Conservation: nobody joins or drains beyond the schedule, and the
+    # active set follows the transitions that actually landed.
+    assert len(res.stats["joined_nodes"]) <= len(plan.node_joins)
+    assert len(res.stats["departed_nodes"]) <= len(plan.node_leaves)
+    assert res.stats["dead_nodes"] == []
+    assert res.stats["coordinator_failovers"] <= len(plan.coordinator_crashes)
+    expected_active = (HALF + len(res.stats["joined_nodes"])
+                       - len(res.stats["departed_nodes"]))
+    assert res.stats["final_active_nodes"] == expected_active
+    # Joiners come from the standby half; drains only take live nodes.
+    joined = set(res.stats["joined_nodes"])
+    departed = set(res.stats["departed_nodes"])
+    assert joined.isdisjoint(range(HALF))
+    assert departed <= set(range(NODES))
+    # The membership record matches the stats and is in fire order.
+    events = res.stats["membership_events"]
+    assert sorted(e["node"] for e in events if e["kind"] == "join") == \
+        res.stats["joined_nodes"]
+    assert sorted(e["node"] for e in events if e["kind"] == "leave") == \
+        res.stats["departed_nodes"]
+    assert all(a["at"] <= b["at"] for a, b in zip(events, events[1:]))
+
+
+def check_replay_identical(seed):
+    """The same seed replays to the same timeline: identical output,
+    identical membership record, identical virtual clock."""
+    _, _, _, first = _run_chaos(seed)
+    _, _, _, second = _run_chaos(seed)
+    assert canonical(first) == canonical(second)
+    assert first.job_time == second.job_time
+    assert first.stats["membership_events"] == second.stats["membership_events"]
+    assert first.stats["coordinator_failovers"] == \
+        second.stats["coordinator_failovers"]
+    assert first.stats["network_bytes"] == second.stats["network_bytes"]
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_random_membership_schedules_preserve_output(seed):
+        check_output_invariant(seed)
+
+    @settings(max_examples=4, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_random_membership_schedules_replay_identically(seed):
+        check_replay_identical(seed)
+
+else:    # pragma: no cover - exercised only without hypothesis
+
+    @pytest.mark.parametrize("seed", FALLBACK_SEEDS)
+    def test_random_membership_schedules_preserve_output(seed):
+        check_output_invariant(seed)
+
+    @pytest.mark.parametrize("seed", FALLBACK_SEEDS[:4])
+    def test_random_membership_schedules_replay_identically(seed):
+        check_replay_identical(seed)
+
+
+def test_schedule_space_is_actually_roamed():
+    """Sanity: the seed sweep hits more than one app, more than one
+    scheduler and at least one non-empty schedule of each event kind."""
+    seeds = range(40)
+    apps = {_pick(s)[0] for s in seeds}
+    scheds = {_pick(s)[1] for s in seeds}
+    assert apps == set(CASES)
+    assert scheds == set(SCHEDULERS)
+    ref = golden(sorted(CASES)[0], "static-affinity",
+                 active_nodes=HALF, replicas=REPLICAS)
+    plans = [_seeded_plan(s, ref) for s in seeds]
+    assert any(p.node_joins for p in plans)
+    assert any(p.node_leaves for p in plans)
+    assert any(p.coordinator_crashes for p in plans)
+    assert any(p.map_failures for p in plans)

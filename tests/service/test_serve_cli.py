@@ -83,3 +83,33 @@ def test_load_trace_rejects_non_array(tmp_path):
     path.write_text('{"not": "a trace"}')
     with pytest.raises(ValueError, match="JSON array"):
         load_trace(str(path))
+
+
+# -- elastic pool flags (docs/elasticity.md) --------------------------------
+
+def test_serve_scale_events_complete_all_jobs(capsys):
+    rc = serve_main(["--jobs", "3", "--nodes", "3", "--active-nodes", "2",
+                     "--scale-out", "0.0002", "--scale-in", "0.004"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "completed    3" in out
+    assert "leaked buffer slots 0" in out
+
+
+def test_serve_scale_spec_accepts_explicit_node(capsys):
+    rc = serve_main(["--jobs", "2", "--nodes", "3", "--active-nodes", "2",
+                     "--scale-out", "2@0.0002"])
+    assert rc == 0
+    assert "completed    2" in capsys.readouterr().out
+
+
+def test_serve_scale_spec_validation():
+    with pytest.raises(SystemExit, match="--scale-out"):
+        serve_main(["--jobs", "2", "--scale-out", "two@0.1"])
+    with pytest.raises(SystemExit, match="--scale-in"):
+        serve_main(["--jobs", "2", "--scale-in", "nope"])
+
+
+def test_serve_active_nodes_validation():
+    with pytest.raises(SystemExit):
+        serve_main(["--jobs", "2", "--nodes", "2", "--active-nodes", "5"])

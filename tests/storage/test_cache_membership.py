@@ -1,0 +1,141 @@
+"""Membership hygiene of the cache-aside layer: a departing node's
+cached ranges model RAM on hardware that just left the pool, so they
+must vanish — pinned entries included — with exact byte accounting,
+and a node must never be handed a free (never re-paid-for) read when
+it comes back.  Includes the regression test for ``purge_caches``
+retaining pinned entries of departed nodes.
+"""
+
+import random
+
+import pytest
+
+from repro.storage.cache import CacheAsideBackend
+
+from tests.dag.test_cache import FakeBase, drive
+
+
+@pytest.fixture
+def backend():
+    base = FakeBase()
+    base.install("pinned", bytes(range(256)) * 4)
+    base.install("other", b"o" * 1024)
+    base.install("mutable", b"m" * 512)
+    cache = CacheAsideBackend(base)
+    cache.pin("pinned")
+    cache.pin("other")
+    return base, cache
+
+
+def test_departure_evicts_everything_the_node_held(backend):
+    base, cache = backend
+    drive(cache.read(0, "pinned", 0, 128))
+    drive(cache.read(0, "other", 0, 256))
+    drive(cache.read(1, "pinned", 0, 128))
+    assert cache.cached_bytes == 128 + 256 + 128
+
+    cache.mark_departed(0)
+    # Node 0's ranges are gone (both paths); node 1's survive.
+    assert cache.cached_bytes == 128
+    assert cache.departure_evictions == 2
+    assert cache.departure_eviction_bytes == 128 + 256
+    assert drive(cache.read(1, "pinned", 0, 128)) is not None
+    assert cache.hits == 1    # node 1 still hits
+    audit = cache.audit()
+    assert audit["consistent"]
+    assert audit["accounted_bytes"] == audit["actual_bytes"] == 128
+
+
+def test_departed_node_pays_again_and_is_not_cached(backend):
+    base, cache = backend
+    drive(cache.read(0, "pinned", 0, 128))
+    cache.mark_departed(0)
+    # Reads still work (the base serves them) but nothing is retained.
+    drive(cache.read(0, "pinned", 0, 128))
+    assert cache.cached_bytes == 0
+    assert base.reads == [(0, "pinned", 0, 128)] * 2
+    assert cache.audit()["consistent"]
+
+
+def test_rejoin_re_pays_then_caches_again(backend):
+    base, cache = backend
+    drive(cache.read(0, "pinned", 0, 128))
+    cache.mark_departed(0)
+    cache.mark_rejoined(0)
+    drive(cache.read(0, "pinned", 0, 128))    # miss: re-pays
+    drive(cache.read(0, "pinned", 0, 128))    # hit again
+    assert len(base.reads) == 2
+    assert cache.hits == 1
+    assert cache.cached_bytes == 128
+    assert cache.audit()["consistent"]
+
+
+def test_purge_caches_drops_departed_pinned_entries(backend):
+    """Regression: stale ``(node, ...)`` keys for departed hardware used
+    to survive a purge because pinned paths were exempted — a byte-
+    accounting leak and a free read for a re-joining node."""
+    base, cache = backend
+    drive(cache.read(2, "pinned", 0, 128))
+    drive(cache.read(1, "pinned", 0, 128))
+    # Simulate the stale state the old bug left behind: the node is on
+    # the departed list but its entries were never evicted.
+    cache._departed.add(2)
+    assert not cache.audit()["consistent"]
+    assert cache.audit()["departed_keys"] == [(2, "pinned", 0, 128)]
+
+    cache.purge_caches()
+    assert base.purges == 1
+    audit = cache.audit()
+    assert audit["consistent"] and audit["departed_keys"] == []
+    assert cache.cached_bytes == 128          # node 1's entry survives
+    assert cache.departure_evictions == 1
+
+
+def test_stats_expose_membership_counters(backend):
+    _, cache = backend
+    drive(cache.read(0, "pinned", 0, 64))
+    cache.mark_departed(0)
+    stats = cache.stats()
+    assert stats["departed_nodes"] == [0]
+    assert stats["departure_evictions"] == 1
+    assert stats["departure_eviction_bytes"] == 64
+    cache.mark_rejoined(0)
+    assert cache.stats()["departed_nodes"] == []
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_byte_accounting_is_exact_under_random_churn(seed):
+    """Property: any interleaving of reads, departures, rejoins, purges
+    and invalidations keeps the accounted byte total equal to the sum of
+    resident entries, with no entry owned by a departed node."""
+    rng = random.Random(seed)
+    base = FakeBase()
+    base.install("pinned", bytes(range(256)) * 8)
+    base.install("mutable", b"m" * 1024)
+    cache = CacheAsideBackend(base, capacity_bytes=1024)
+    cache.pin("pinned")
+    departed = set()
+
+    for _ in range(200):
+        op = rng.randrange(6)
+        node = rng.randrange(4)
+        if op <= 2:    # reads dominate
+            path = "pinned" if rng.random() < 0.8 else "mutable"
+            offset = rng.randrange(0, 512)
+            drive(cache.read(node, path, offset, rng.randrange(1, 256)))
+        elif op == 3:
+            cache.mark_departed(node)
+            departed.add(node)
+        elif op == 4 and departed:
+            back = rng.choice(sorted(departed))
+            cache.mark_rejoined(back)
+            departed.discard(back)
+        else:
+            (cache.purge_caches if rng.random() < 0.5
+             else lambda: cache.invalidate("pinned"))()
+        audit = cache.audit()
+        assert audit["consistent"], audit
+        assert cache.cached_bytes <= 1024
+
+    assert cache.hit_bytes + cache.miss_bytes > 0
+    assert cache.stats()["departed_nodes"] == sorted(departed)

@@ -213,3 +213,82 @@ def test_dag_subcommand_pagerank_trace(tmp_path, capsys):
 def test_dag_subcommand_validates_rounds():
     with pytest.raises(SystemExit, match="rounds"):
         main(["dag", "pagerank", "--rounds", "0"])
+
+
+# -- elastic membership flags (docs/elasticity.md) --------------------------
+
+def test_parser_elastic_flags():
+    args = build_parser().parse_args(
+        ["wordcount", "--active-nodes", "2", "--join", "auto@0.001",
+         "--join", "3@0.002", "--leave", "auto@0.003",
+         "--elastic", "2:4", "--coord-replicas", "3",
+         "--coord-crash", "0.001", "--failover-timeout", "0.01"])
+    assert args.active_nodes == 2
+    assert args.join == ["auto@0.001", "3@0.002"]
+    assert args.leave == ["auto@0.003"]
+    assert args.elastic == "2:4"
+    assert args.coord_replicas == 3
+    assert args.coord_crash == [0.001]
+    assert args.failover_timeout == 0.01
+
+
+def test_make_faults_builds_membership_schedule():
+    from repro.cli import make_faults
+    args = build_parser().parse_args(
+        ["wordcount", "--join", "auto@0.001", "--leave", "2@0.002",
+         "--coord-crash", "0.003"])
+    plan = make_faults(args)
+    assert plan is not None
+    assert plan.node_joins[0].node is None
+    assert plan.node_joins[0].at == 0.001
+    assert plan.node_leaves[0].node == 2
+    assert plan.coordinator_crashes[0].at == 0.003
+
+
+def test_make_job_elastic_config():
+    args = build_parser().parse_args(
+        ["wordcount", "--active-nodes", "3", "--coord-replicas", "2",
+         "--failover-timeout", "0.02"])
+    _, _, config = make_job(args)
+    assert config.active_nodes == 3
+    assert config.coordinator_replicas == 2
+    assert config.failover_timeout == 0.02
+
+
+def test_membership_spec_validation():
+    with pytest.raises(SystemExit, match="--join"):
+        main(["wordcount", "--join", "nonsense"])
+    with pytest.raises(SystemExit, match="invalid fault schedule"):
+        main(["wordcount", "--leave", "1@-0.5"])
+    with pytest.raises(SystemExit, match="--elastic"):
+        main(["wordcount", "--elastic", "4"])
+
+
+def test_main_join_and_leave_mid_job(capsys):
+    rc = main(["wordcount", "--nodes", "4", "--active-nodes", "2",
+               "--megabytes", "0.2", "--chunk-kb", "16",
+               "--join", "auto@0.0002", "--leave", "auto@0.0009"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "joined_nodes   [2]" in out
+    assert "departed_nodes [2]" in out
+    assert "final_active_nodes 2" in out
+
+
+def test_main_coordinator_failover(capsys):
+    rc = main(["wordcount", "--nodes", "2", "--megabytes", "0.2",
+               "--chunk-kb", "32", "--coord-replicas", "2",
+               "--coord-crash", "0.0003", "--failover-timeout", "0.001"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "coordinator_failovers 1" in out
+    assert "coordinator_epoch 1" in out
+
+
+def test_main_elastic_autoscaler(capsys):
+    rc = main(["wordcount", "--nodes", "4", "--active-nodes", "2",
+               "--megabytes", "0.4", "--chunk-kb", "16",
+               "--elastic", "2:4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "elastic_scale_outs" in out
