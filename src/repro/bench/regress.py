@@ -43,6 +43,7 @@ import sys
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts
+from repro.obs.diff import explain_diff, render_diff
 
 from repro.bench.dag import DEFAULT_JSON_PATH as DAG_JSON_PATH
 from repro.bench.dag import dag_point
@@ -192,16 +193,45 @@ def run_regress(baseline_path: str = DEFAULT_JSON_PATH,
             f"no baseline points match nodes={sorted(want_nodes)} "
             f"cases={cases!r} in {baseline_path}")
     rows: List[Dict[str, Any]] = []
+    explanations: List[Dict[str, Any]] = []
     for app, n in selected:
         measured = sweep_point(app, n, costs=costs)
-        rows.extend(compare_point(recorded[(app, n)], measured, tolerances))
+        point_rows = compare_point(recorded[(app, n)], measured, tolerances)
+        rows.extend(point_rows)
+        if not all(r["ok"] for r in point_rows):
+            explanations.append(
+                _explain_failure(recorded[(app, n)], measured, app, n))
     return {
         "baseline_path": baseline_path,
         "points": len(selected),
         "comparisons": rows,
         "failures": [r for r in rows if not r["ok"]],
+        "explanations": explanations,
         "ok": all(r["ok"] for r in rows),
     }
+
+
+def _explain_failure(recorded: Dict[str, Any], measured: Dict[str, Any],
+                     app: str, nodes: Any) -> Dict[str, Any]:
+    """Root-cause one drifted point via the causal run-diff explainer.
+
+    A drifted gate should print *why*, not just a percentage — when both
+    the baseline point and the fresh measurement carry a
+    ``glasswing-causal/1`` profile, :func:`repro.obs.diff.explain_diff`
+    attributes the delta to ranked (stage, wait-class, resource) causes.
+    Baselines recorded before causal capture existed get a note instead.
+    """
+    entry: Dict[str, Any] = {"app": app, "nodes": nodes}
+    if not isinstance(recorded.get("causal"), dict):
+        entry["note"] = ("baseline point has no causal profile; "
+                         "regenerate the baseline to enable root-cause "
+                         "explanations")
+        return entry
+    try:
+        entry["diff"] = explain_diff(recorded, measured)
+    except ValueError as exc:
+        entry["note"] = f"explain-diff failed: {exc}"
+    return entry
 
 
 def run_service_regress(baseline_path: str = SERVICE_JSON_PATH,
@@ -329,6 +359,14 @@ def _print_table(result: Dict[str, Any], out=None) -> None:
         f"FAIL ({len(result['failures'])} regression(s))")
     print(f"\n{result['points']} point(s) replayed against "
           f"{result['baseline_path']}: {verdict}", file=out)
+    for entry in result.get("explanations", []):
+        print(f"\nroot cause: {entry['app']} @ {entry['nodes']} node(s)",
+              file=out)
+        if "diff" in entry:
+            print(render_diff(entry["diff"]), file=out)
+        else:
+            print(f"  ({entry.get('note', 'no explanation available')})",
+                  file=out)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -357,6 +395,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="absolute tolerance on the map overlap factor")
     parser.add_argument("--json", metavar="FILE", default=None,
                         help="also write the comparison result as JSON")
+    parser.add_argument("--json-out", metavar="FILE", default=None,
+                        dest="json_out",
+                        help="machine-readable result (sorted keys, parent "
+                             "dirs created); same payload as --json — CI "
+                             "uploads this on failure")
     parser.add_argument("--service-baseline", default=None, metavar="FILE",
                         help="service-replay baseline to gate (default: "
                              f"{SERVICE_JSON_PATH} when present)")
@@ -441,9 +484,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print()
             _print_table(elastic_result)
 
-    if args.json:
+    if args.json or args.json_out:
         from repro.obs.telemetry import ensure_parent_dir
-        ensure_parent_dir(args.json)
         payload = dict(result)
         extras = {"service": service_result, "dag": dag_result,
                   "elastic": elastic_result}
@@ -454,9 +496,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             for key, value in extras.items():
                 if value is not None:
                     payload[key] = value
-        with open(args.json, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        for path in (args.json, args.json_out):
+            if not path:
+                continue
+            ensure_parent_dir(path)
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
     ok = result["ok"] \
         and (service_result is None or service_result["ok"]) \
         and (dag_result is None or dag_result["ok"]) \

@@ -32,6 +32,7 @@ from repro.core import JobConfig, run_glasswing
 from repro.core.costs import DEFAULT_HOST_COSTS, HostCosts
 from repro.hw.presets import das4_cluster
 from repro.hw.specs import KiB
+from repro.obs.causal import causal_profile
 from repro.obs.report import PipelineReport
 from repro.obs.telemetry import ensure_parent_dir
 from repro.storage.records import NO_COMPRESSION
@@ -168,6 +169,12 @@ def sweep_point(case: str, nodes: int,
             "dominant_stage": dominant,
             "dominant_share": util.get(dominant, 0.0) if dominant else 0.0,
         }
+    # Causal wait profile of the run: baseline points carry it so the
+    # regression gate can explain a drift (not just detect it).  The
+    # tree section is per-job detail the sweep does not need.
+    causal = causal_profile(res.timeline, elapsed_s=res.job_time)
+    causal.pop("tree", None)
+    point["causal"] = causal
     return point
 
 

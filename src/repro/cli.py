@@ -18,6 +18,7 @@ Observability (traces and reports)::
     python -m repro wordcount --nodes 4 --trace-out trace.json   # Perfetto
     python -m repro terasort --report-json report.json --explain
     python -m repro wordcount --metrics-interval 0.01 --metrics-out m.om
+    python -m repro explain-diff base-report.json new-report.json
 
 Iterative / multi-round execution (:mod:`repro.dag`)::
 
@@ -47,7 +48,7 @@ from repro.hw.presets import GBE, QDR_IB, das4_cluster
 from repro.hw.specs import DeviceKind, MiB
 from repro.storage.records import NO_COMPRESSION
 
-__all__ = ["main", "serve_main", "dag_main"]
+__all__ = ["main", "serve_main", "dag_main", "explain_diff_main"]
 
 APPS = ("wordcount", "pageview", "terasort", "kmeans", "matmul")
 
@@ -645,6 +646,47 @@ def dag_main(argv=None) -> int:
     return 0
 
 
+def build_explain_diff_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro explain-diff",
+        description="Attribute the elapsed delta between two runs to "
+                    "ranked (stage, wait-class, resource) causes. BASE "
+                    "and NEW are causal-profile JSON files or any report "
+                    "carrying a 'causal' section (--report-json output, "
+                    "a BENCH_scaling.json sweep point).")
+    parser.add_argument("base", metavar="BASE",
+                        help="baseline profile / report JSON")
+    parser.add_argument("new", metavar="NEW",
+                        help="comparison profile / report JSON")
+    parser.add_argument("--top", type=int, default=8, metavar="K",
+                        help="causes to rank (default: %(default)s)")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="also write the glasswing-causal-diff/1 "
+                             "document as JSON")
+    return parser
+
+
+def explain_diff_main(argv=None) -> int:
+    """Entry point of ``python -m repro explain-diff``."""
+    from repro.obs import ensure_parent_dir, explain_diff, render_diff
+    args = build_explain_diff_parser().parse_args(argv)
+    if args.top < 1:
+        raise SystemExit("--top must be >= 1")
+    try:
+        diff = explain_diff(args.base, args.new, top_k=args.top)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"explain-diff: {exc}")
+    print(render_diff(diff))
+    if args.json:
+        import json
+        ensure_parent_dir(args.json)
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(diff, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"diff written to {args.json}")
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         import sys
@@ -653,6 +695,8 @@ def main(argv=None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "dag":
         return dag_main(argv[1:])
+    if argv and argv[0] == "explain-diff":
+        return explain_diff_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.metrics_out and args.metrics_interval is None:
         raise SystemExit("--metrics-out requires --metrics-interval")

@@ -499,7 +499,8 @@ class MapPhase:
                                                      meter=self.meter)
             self.timeline.record("map.push", self.node.name, start,
                                  self.sim.now, pids=len(runs), bytes=stored,
-                                 delivered=bool(delivered))
+                                 delivered=bool(delivered),
+                                 dst=self.managers[owner].node.name)
             if delivered is False:
                 continue    # owner is gone; recovery re-routes these runs
             for pid, run in runs:

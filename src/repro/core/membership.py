@@ -78,6 +78,7 @@ class CoordinatorGroup:
         self.failovers = 0
         self.failover_timeout = failover_timeout
         self._election: Optional[Event] = None
+        self._barrier_seq = 0
 
     # -- state queries -----------------------------------------------------
     def alive_replicas(self) -> List[int]:
@@ -117,11 +118,25 @@ class CoordinatorGroup:
             self._election = Event(self.sim)
             self.sim.process(self._elect(), name=f"{self.name}.election")
         election = self._election
+        t_req = self.sim.now
         yield election
         if self.leader is None:
             raise RuntimeError(
                 "control plane lost: every coordinator replica is dead "
                 f"(crashed: {sorted(self.dead)})")
+        if self.timeline is not None and self.sim.now > t_req:
+            # One barrier span + membership wait edge per *waiter*: the
+            # election is charged once, but every caller blocked on it
+            # lost this much control-plane time.
+            self._barrier_seq += 1
+            self.timeline.record("coord.barrier", self.name,
+                                 self.sim.now, self.sim.now,
+                                 t_req=t_req, leader=self.leader,
+                                 epoch=self.epoch, op=self._barrier_seq)
+            self.timeline.record_wait("membership", f"{self.name}.election",
+                                      "coord.barrier", self.name,
+                                      t_req, self.sim.now,
+                                      op=self._barrier_seq)
         return self.leader
 
     def _elect(self):

@@ -22,6 +22,7 @@ unified memory (CPU devices), as in the paper.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.simt.core import Interrupt, Simulator
@@ -66,6 +67,12 @@ class Pipeline:
     #: Sentinel a ``read_fn`` may return to end the input stream early.
     END = object()
 
+    #: pipeline-instance tokens: a multi-device node runs several
+    #: pipelines with the same ``(name, instance)`` concurrently, so
+    #: spans and wait edges carry a per-pipeline ``op`` meta to keep
+    #: the causal matcher's identities unambiguous.
+    _uids = itertools.count()
+
     def __init__(self, sim: Simulator, timeline: Timeline, name: str,
                  instance: str, buffering: int,
                  items: Iterable[Any],
@@ -88,6 +95,7 @@ class Pipeline:
         self.output_fn = output_fn
         self.in_pool = BufferPool(sim, buffering, name=f"{instance}.{name}.in")
         self.out_pool = BufferPool(sim, buffering, name=f"{instance}.{name}.out")
+        self._uid = next(Pipeline._uids)
         self.elapsed: Optional[float] = None
         self.outputs: List[Any] = []
         self.killed = False
@@ -222,7 +230,19 @@ class Pipeline:
 
     def _span(self, stage: str, start: float, **meta: Any) -> None:
         self.timeline.record(f"{self.name}.{stage}", self.instance,
-                             start, self.sim.now, **meta)
+                             start, self.sim.now, op=self._uid, **meta)
+
+    def _wait_edge(self, stage: str, wait_class: str, resource: str,
+                   start: float, end: float) -> None:
+        """Attribute a blocking interval to the stage's next span.
+
+        Called at span-record time (never eagerly at the wait site) so an
+        op interrupted mid-flight leaves neither a span nor an orphan
+        edge — the per-span decomposition invariant stays exact under the
+        fault matrix."""
+        self.timeline.record_wait(wait_class, resource,
+                                  f"{self.name}.{stage}", self.instance,
+                                  start, end, op=self._uid)
 
     @staticmethod
     def _payload_meta(payload: Any) -> dict:
@@ -276,8 +296,16 @@ class Pipeline:
             owned = True
             for n, part in enumerate(payloads):
                 final = n == len(payloads) - 1
+                # The slot wait belongs to the modeled item, not to each
+                # simulation batch: only the first batch's span carries the
+                # request time and the causal edge.
+                span_req = t_req if n == 0 else start
                 self._span("input", start, slot=slot, slot_wait=slot_wait,
-                           **self._payload_meta(part))
+                           t_req=span_req, **self._payload_meta(part))
+                if n == 0:
+                    self._wait_edge("input", "buffer-slot",
+                                    self.in_pool.name, t_req,
+                                    t_req + slot_wait)
                 put_ev = downstream.put((slot if final else None, part))
                 if final:
                     owned = False
@@ -311,13 +339,16 @@ class Pipeline:
                         pool.release(slot)
                     raise
                 self._span(stage_name, start, queue_wait=queue_wait,
-                           **self._payload_meta(payload))
+                           t_req=t_req, **self._payload_meta(payload))
             else:
                 # Unified memory: the stage is a pass-through.  A
                 # zero-length marker span keeps the five-stage shape
                 # visible to trace exporters and breakdown tables.
                 self._span(stage_name, self.sim.now, passthrough=True,
+                           queue_wait=queue_wait, t_req=t_req,
                            **self._payload_meta(payload))
+            self._wait_edge(stage_name, "queue", upstream.name,
+                            t_req, t_req + queue_wait)
             yield downstream.put((slot, payload))
 
     def _kernel_stage(self, upstream: Store, downstream: Store) -> Generator:
@@ -362,7 +393,12 @@ class Pipeline:
             if final:
                 self.in_pool.release(in_slot)
             self._span("kernel", start, slot=held_out, slot_wait=slot_wait,
-                       queue_wait=queue_wait, **self._payload_meta(result))
+                       queue_wait=queue_wait, t_req=t_req,
+                       **self._payload_meta(result))
+            self._wait_edge("kernel", "queue", upstream.name,
+                            t_req, t_req + queue_wait)
+            self._wait_edge("kernel", "buffer-slot", self.out_pool.name,
+                            t_slot, t_slot + slot_wait)
             put_ev = downstream.put((held_out if final else None, result))
             out_slot = held_out
             if final:
@@ -392,6 +428,8 @@ class Pipeline:
                 raise
             if slot is not None:
                 self.out_pool.release(slot)
-            self._span("output", start, queue_wait=queue_wait,
+            self._span("output", start, queue_wait=queue_wait, t_req=t_req,
                        **self._payload_meta(payload))
+            self._wait_edge("output", "queue", upstream.name,
+                            t_req, t_req + queue_wait)
             self.outputs.append(sunk if sunk is not None else payload)

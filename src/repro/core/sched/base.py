@@ -99,6 +99,7 @@ class Scheduler:
         self._pools: Dict[int, Dict[str, _PoolDevice]] = {}
         self._pool_waiters: Dict[int, List[Event]] = {}
         self._gauges_done = False
+        self._gate_seq = 0
 
     # -- planning ----------------------------------------------------------
     def plan(self, splits: Sequence["Split"], backend: "StorageBackend",
@@ -234,7 +235,9 @@ class Scheduler:
                 if me.pending > 0:
                     # One operation in flight is this device's limit: a
                     # slow pipeline prefetching would hoard tail work.
+                    t_gate = self.sim.now
                     yield self._pool_wait(node_id)
+                    self._note_gate_wait(node_id, key, t_gate)
                     continue
                 cost = float(split.length)
                 rest_speed = sum(d.speed for d in rest)
@@ -250,6 +253,26 @@ class Scheduler:
             me.pending += float(split.length)
             self._note_place(node_id, split, phase, device=key)
             return split
+
+    def _note_gate_wait(self, node_id: int, key: str, t_gate: float) -> None:
+        """A slow device sat at the pool gate from ``t_gate`` until now.
+
+        Recorded as a zero-length ``sched.gate`` span at the release
+        instant plus a matching ``pool-gate`` wait edge, so the causal
+        profiler attributes the throttling to the device pool."""
+        if self.timeline is None or self.sim is None:
+            return
+        now = self.sim.now
+        if now <= t_gate:
+            return
+        self._gate_seq += 1
+        name = f"node{node_id}"
+        self.timeline.record("sched.gate", name, now, now,
+                             t_req=t_gate, device=key, policy=self.name,
+                             op=self._gate_seq)
+        self.timeline.record_wait("pool-gate", f"{name}.pool",
+                                  "sched.gate", name, t_gate, now,
+                                  device=key, op=self._gate_seq)
 
     def _pool_wait(self, node_id: int) -> Event:
         ev = Event(self.sim)

@@ -139,7 +139,8 @@ class DagRunner:
             base = make_backend(config.storage, self.session.cluster,
                                 **kwargs)
             self.backend = CacheAsideBackend(
-                base, capacity_bytes=self._cache_capacity)
+                base, capacity_bytes=self._cache_capacity,
+                sim=self.session.sim, timeline=self.session.timeline)
         return self.backend
 
     def _install(self, path: str, data: bytes, immutable: bool) -> None:

@@ -86,6 +86,10 @@ class Network:
         self._fabric = Resource(sim, fabric_links, name="fabric")
         self.transfers: list[Transfer] = []
         self.bytes_moved = 0
+        # Monotonic transfer sequence: concurrent transfers on the same
+        # directed link produce overlapping same-identity spans, so each
+        # span and its wait edges share an ``op`` token to stay matchable.
+        self._seq = 0
         #: optional ClusterHealth view; when set, sends to dead nodes drop
         self.health = None
         # Per-link telemetry state, maintained only when the timeline
@@ -213,10 +217,26 @@ class Network:
             if meter.timeline is not None:
                 timeline = meter.timeline
         if timeline is not None:
-            timeline.record("net.transfer", f"{src}->{dst}",
+            self._seq += 1
+            op = self._seq
+            link = f"{src}->{dst}"
+            timeline.record("net.transfer", link,
                             start, self.sim.now, bytes=nbytes,
                             delivered=delivered, tx_wait=tx_wait,
-                            fabric_wait=fabric_wait, rx_wait=rx_wait)
+                            fabric_wait=fabric_wait, rx_wait=rx_wait,
+                            op=op)
+            # The three queueing phases are in-span waits (the span covers
+            # the whole store-and-forward transfer); everything else in it
+            # is wire/latency self-time.
+            timeline.record_wait("shuffle-link", self._tx[src].name,
+                                 "net.transfer", link,
+                                 start, start + tx_wait, op=op)
+            timeline.record_wait("shuffle-link", self._fabric.name,
+                                 "net.transfer", link,
+                                 t_fab, t_fab + fabric_wait, op=op)
+            timeline.record_wait("shuffle-link", self._rx[dst].name,
+                                 "net.transfer", link,
+                                 t_rx, t_rx + rx_wait, op=op)
         return delivered
 
     def time_for(self, nbytes: int) -> float:

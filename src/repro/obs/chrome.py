@@ -15,7 +15,11 @@ trace-event JSON format understood by ``chrome://tracing`` and Perfetto
   ordered so the five pipeline stages appear in dependency order;
 * every :class:`~repro.simt.trace.Span` becomes a complete (``"X"``)
   event whose ``args`` carry the span's meta counters (bytes, slot ids,
-  queue waits, …).
+  queue waits, …);
+* every delivered ``map.push`` span grows a **flow arrow** (``"s"`` /
+  ``"f"`` event pair) to the receiving node's next merge span, so
+  cross-node shuffle causality renders as arrows between lanes in the
+  trace UI.
 
 Virtual seconds are scaled to trace microseconds, the unit the trace
 viewers expect.
@@ -24,6 +28,7 @@ viewers expect.
 from __future__ import annotations
 
 import json
+from bisect import bisect_left
 from typing import Any, Dict, List
 
 from repro.simt.trace import Timeline
@@ -63,6 +68,56 @@ def _category_sort_key(category: str):
     return (prefix, rank, stage)
 
 
+def _flow_events(timeline: Timeline, pids: Dict[str, int],
+                 tids: Dict[str, int],
+                 time_scale: float) -> List[Dict[str, Any]]:
+    """Shuffle flow arrows: each delivered ``map.push`` span links to the
+    receiving node's next merge span (``"s"`` start at the push, ``"f"``
+    finish at the merge), so cross-node causality renders as arrows.
+
+    The push span records its destination lane in ``meta["dst"]``; the
+    receiver is the earliest ``merge.*`` span in that lane (same job tag,
+    for multi-job sessions) starting at or after the push completes —
+    falling back to the lane's last merge span, which is the finalize
+    (``merge.delay``) covering the tail of the shuffle.
+    """
+    merges: Dict[str, List[Any]] = {}
+    for span in timeline.spans:
+        if span.category.startswith("merge."):
+            merges.setdefault(_instance_name(span), []).append(span)
+    for spans in merges.values():
+        spans.sort(key=lambda s: (s.start, s.end))
+    starts = {name: [s.start for s in spans]
+              for name, spans in merges.items()}
+
+    events: List[Dict[str, Any]] = []
+    flow_id = 0
+    for span in timeline.spans:
+        if span.category != "map.push" or not span.meta.get("delivered"):
+            continue
+        dst = span.meta.get("dst")
+        if not dst:
+            continue
+        job = span.meta.get("job")
+        lane = f"{job}:{dst}" if job else dst
+        candidates = merges.get(lane)
+        if not candidates:
+            continue
+        i = bisect_left(starts[lane], span.end)
+        target = candidates[i] if i < len(candidates) else candidates[-1]
+        flow_id += 1
+        common = {"name": "shuffle", "cat": "flow", "id": flow_id}
+        events.append({**common, "ph": "s",
+                       "ts": span.end * time_scale,
+                       "pid": pids[_instance_name(span)],
+                       "tid": tids[span.category]})
+        events.append({**common, "ph": "f", "bp": "e",
+                       "ts": max(target.start, span.end) * time_scale,
+                       "pid": pids[lane],
+                       "tid": tids[target.category]})
+    return events
+
+
 def chrome_trace_events(timeline: Timeline,
                         time_scale: float = TIME_SCALE) -> List[Dict[str, Any]]:
     """The flat trace-event list for ``timeline`` (metadata + spans)."""
@@ -94,6 +149,7 @@ def chrome_trace_events(timeline: Timeline,
             "tid": tids[span.category],
             "args": {k: _json_safe(v) for k, v in span.meta.items()},
         })
+    events.extend(_flow_events(timeline, pids, tids, time_scale))
     return events
 
 

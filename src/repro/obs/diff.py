@@ -1,0 +1,147 @@
+"""Run-diff explainer: attribute an elapsed delta to (stage, wait-class,
+resource) causes.
+
+Two runs of the same workload rarely differ uniformly — a cost-model
+change, a congested link or a throttled device shows up as *one* stage's
+self-time or *one* wait class growing.  :func:`explain_diff` aligns two
+``glasswing-causal/1`` profiles (see :mod:`repro.obs.causal`) by stable
+span identity (the stage category) and ranks the per-cause deltas, so a
+regression gate can print "reduce.kernel self-time +0.84s (93% of the
+delta)" instead of a bare drift percentage.
+
+Causes are drawn from leaf stages only; aggregate envelopes (job/phase
+spans) re-cover the same seconds and would always out-rank the real
+culprit.  Self-time appears as the pseudo wait-class ``self``.
+
+The CLI surface is ``repro explain-diff BASE NEW`` where each argument
+is either a causal-profile JSON or a job report carrying a ``causal``
+section (``--report-json`` output, or a ``BENCH_*`` sweep point).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["load_profile", "explain_diff", "render_diff"]
+
+_SELF = "self"
+
+
+def load_profile(source: Union[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Coerce ``source`` into a ``glasswing-causal/1`` profile dict.
+
+    Accepts a path to (or an already-loaded dict of) either a causal
+    profile or any document embedding one under a ``"causal"`` key —
+    job reports and bench sweep points both do.
+    """
+    doc: Any = source
+    if isinstance(source, str):
+        with open(source) as fh:
+            doc = json.load(fh)
+    if not isinstance(doc, dict):
+        raise ValueError(f"not a profile document: {source!r}")
+    if doc.get("schema") == "glasswing-causal/1":
+        return doc
+    causal = doc.get("causal")
+    if isinstance(causal, dict) and \
+            causal.get("schema") == "glasswing-causal/1":
+        return causal
+    raise ValueError(
+        "no glasswing-causal/1 profile found (expected a causal profile "
+        "or a report with a 'causal' section)")
+
+
+def _causes(profile: Dict[str, Any]) -> Dict[tuple, float]:
+    """Flatten a profile's stages into ``(stage, class, resource) -> s``."""
+    out: Dict[tuple, float] = {}
+    for stage, entry in profile.get("stages", {}).items():
+        self_s = entry.get("self_s", 0.0)
+        if self_s:
+            out[(stage, _SELF, "-")] = self_s
+        for cls, info in entry.get("waits", {}).items():
+            resources = info.get("resources") or {"-": info.get("seconds",
+                                                                0.0)}
+            for resource, seconds in resources.items():
+                if seconds:
+                    out[(stage, cls, resource)] = \
+                        out.get((stage, cls, resource), 0.0) + seconds
+    return out
+
+
+def explain_diff(base: Union[str, Dict[str, Any]],
+                 new: Union[str, Dict[str, Any]],
+                 top_k: int = 8) -> Dict[str, Any]:
+    """Attribute the elapsed delta between two runs to ranked causes.
+
+    Returns the ``glasswing-causal-diff/1`` document: elapsed deltas,
+    the per-(stage, wait-class, resource) cause table sorted by absolute
+    delta (largest first, ties broken lexically for determinism), and
+    the share of the total absolute delta each cause explains.
+    """
+    base_p = load_profile(base)
+    new_p = load_profile(new)
+    base_causes = _causes(base_p)
+    new_causes = _causes(new_p)
+    deltas: List[Dict[str, Any]] = []
+    for key in sorted(set(base_causes) | set(new_causes)):
+        b = base_causes.get(key, 0.0)
+        n = new_causes.get(key, 0.0)
+        if abs(n - b) <= 0.0:
+            continue
+        stage, cls, resource = key
+        deltas.append({
+            "stage": stage, "wait_class": cls, "resource": resource,
+            "base_s": b, "new_s": n, "delta_s": n - b,
+        })
+    deltas.sort(key=lambda d: (-abs(d["delta_s"]), d["stage"],
+                               d["wait_class"], d["resource"]))
+    total_abs = sum(abs(d["delta_s"]) for d in deltas)
+    for d in deltas:
+        d["share"] = abs(d["delta_s"]) / total_abs if total_abs else 0.0
+    base_elapsed = base_p.get("elapsed_s")
+    new_elapsed = new_p.get("elapsed_s")
+    elapsed_delta: Optional[float] = None
+    if base_elapsed is not None and new_elapsed is not None:
+        elapsed_delta = new_elapsed - base_elapsed
+    return {
+        "schema": "glasswing-causal-diff/1",
+        "base_elapsed_s": base_elapsed,
+        "new_elapsed_s": new_elapsed,
+        "elapsed_delta_s": elapsed_delta,
+        "base_wait_s": base_p.get("wait_s"),
+        "new_wait_s": new_p.get("wait_s"),
+        "causes": deltas[:top_k],
+        "n_causes": len(deltas),
+    }
+
+
+def render_diff(diff: Dict[str, Any]) -> str:
+    """Human-readable root-cause table for one explain-diff result."""
+    lines: List[str] = []
+    base_e = diff.get("base_elapsed_s")
+    new_e = diff.get("new_elapsed_s")
+    delta = diff.get("elapsed_delta_s")
+    if delta is not None:
+        pct = (100.0 * delta / base_e) if base_e else 0.0
+        lines.append(f"elapsed {base_e:.6f}s -> {new_e:.6f}s "
+                     f"({delta:+.6f}s, {pct:+.2f}%)")
+    else:
+        lines.append("elapsed: (not recorded in one of the profiles)")
+    causes = diff.get("causes", [])
+    if not causes:
+        lines.append("no per-stage differences found")
+        return "\n".join(lines)
+    header = (f"{'#':>2}  {'stage':<22} {'wait class':<14} "
+              f"{'resource':<20} {'delta (s)':>12} {'share':>7}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for rank, cause in enumerate(causes, start=1):
+        lines.append(
+            f"{rank:>2}  {cause['stage']:<22} {cause['wait_class']:<14} "
+            f"{cause['resource']:<20} {cause['delta_s']:>+12.6f} "
+            f"{100.0 * cause['share']:>6.1f}%")
+    hidden = diff.get("n_causes", len(causes)) - len(causes)
+    if hidden > 0:
+        lines.append(f"... and {hidden} smaller cause(s)")
+    return "\n".join(lines)

@@ -22,6 +22,7 @@ import dataclasses
 from enum import Enum
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.causal import causal_profile
 from repro.simt.trace import Timeline
 
 __all__ = ["PIPELINE_STAGES", "PipelineReport", "aggregate_counters",
@@ -423,6 +424,7 @@ def build_job_report(result) -> Dict[str, Any]:
             "speculative_wins": metrics.speculative_wins,
         },
         "counters": aggregate_counters(timeline),
+        "causal": causal_profile(timeline, elapsed_s=result.job_time),
         "telemetry": telemetry_section,
         "scheduling": {
             "policy": result.stats.get("scheduler"),

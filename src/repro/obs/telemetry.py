@@ -530,7 +530,12 @@ def validate_openmetrics(text: str) -> int:
     exports: missing/misplaced ``# EOF``, samples before their family's
     ``# TYPE``, interleaved families, counters without the ``_total``
     suffix or decreasing in time, malformed label sets, and histogram
-    bucket sets that are non-cumulative or missing ``+Inf``.
+    bucket sets that are non-cumulative, have duplicate or out-of-order
+    ``le`` bounds, or lack the terminal ``+Inf`` bucket.  Histogram
+    sample sets must also be complete and self-consistent: every
+    timestamped bucket set needs its ``_count`` and ``_sum`` samples,
+    ``+Inf`` must equal ``_count``, and both ``_count`` and ``_sum``
+    are cumulative — they may never decrease between timestamps.
     """
     if not text.endswith("\n"):
         raise ValueError("exposition must end with a newline")
@@ -545,6 +550,10 @@ def validate_openmetrics(text: str) -> int:
     hist_buckets: Dict[Tuple[str, LabelKey, str], List[Tuple[float, float]]]
     hist_buckets = {}
     hist_counts: Dict[Tuple[str, LabelKey, str], float] = {}
+    hist_sums: Dict[Tuple[str, LabelKey, str], float] = {}
+    # (family, labels, _count|_sum) -> last seen value; samples within a
+    # family arrive in time order, so cumulative fields must not dip
+    hist_last: Dict[Tuple[str, LabelKey, str], float] = {}
 
     def family_of(name: str) -> str:
         for suffix in ("_bucket", "_count", "_sum", "_total"):
@@ -618,21 +627,41 @@ def validate_openmetrics(text: str) -> int:
                     raise ValueError(f"line {i}: bucket without le label")
                 hist_buckets.setdefault(key, []).append(
                     (_parse_number(le, f"line {i}"), value))
-            elif name.endswith("_count"):
-                hist_counts[key] = value
+            else:
+                suffix = "_count" if name.endswith("_count") else "_sum"
+                if suffix == "_count":
+                    hist_counts[key] = value
+                else:
+                    hist_sums[key] = value
+                if value != value:
+                    raise ValueError(
+                        f"line {i}: NaN histogram {suffix} value")
+                series_key = (family, base_labels, suffix)
+                if value < hist_last.get(series_key, float("-inf")):
+                    raise ValueError(
+                        f"line {i}: histogram "
+                        f"{render_series(family, base_labels)}{suffix} "
+                        f"decreased")
+                hist_last[series_key] = value
         n_samples += 1
         if ts_val is not None and ts_val != ts_val:
             raise ValueError(f"line {i}: NaN timestamp")
-    for (family, _labels, _ts), buckets in hist_buckets.items():
+    for key, buckets in hist_buckets.items():
+        family = key[0]
         les = [le for le, _ in buckets]
-        if les != sorted(les):
-            raise ValueError(f"{family}: bucket le values out of order")
+        if any(b <= a for a, b in zip(les, les[1:])):
+            raise ValueError(
+                f"{family}: bucket le values not strictly increasing")
         if not les or not math.isinf(les[-1]):
             raise ValueError(f"{family}: missing +Inf bucket")
         counts = [n for _, n in buckets]
         if counts != sorted(counts):
             raise ValueError(f"{family}: bucket counts not cumulative")
-        expected = hist_counts.get((family, _labels, _ts))
-        if expected is not None and counts[-1] != expected:
+        if key not in hist_counts:
+            raise ValueError(f"{family}: bucket set without a _count "
+                             "sample")
+        if key not in hist_sums:
+            raise ValueError(f"{family}: bucket set without a _sum sample")
+        if counts[-1] != hist_counts[key]:
             raise ValueError(f"{family}: +Inf bucket != _count")
     return n_samples

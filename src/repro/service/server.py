@@ -401,6 +401,11 @@ class JobServer:
         self.session.timeline.record(
             "svc.queue", record.name, record.submit_at, sim.now,
             tenant=record.tenant, priority=record.priority)
+        # The span *is* the wait: queued time is pure admission blocking,
+        # so the matching edge covers the whole span (self-time zero).
+        self.session.timeline.record_wait(
+            "admission", "svc.queue", "svc.queue", record.name,
+            record.submit_at, sim.now, tenant=record.tenant)
         # A restricted pool pins the job to the currently-active subset;
         # a full pool passes None so per-job ``config.active_nodes``
         # still applies (and the classic path stays byte-identical).

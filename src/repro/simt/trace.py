@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-__all__ = ["Span", "Timeline", "TimelineFork"]
+__all__ = ["Span", "WaitEdge", "Timeline", "TimelineFork"]
 
 
 @dataclass(frozen=True)
@@ -33,11 +33,38 @@ class Span:
         return self.start < other.end and other.start < self.end
 
 
+@dataclass(frozen=True)
+class WaitEdge:
+    """A typed blocking interval: who waited, on what, and for how long.
+
+    ``wait_class`` is one of the small closed vocabulary the causal
+    profiler aggregates over (``buffer-slot``, ``queue``, ``shuffle-link``,
+    ``admission``, ``pool-gate``, ``membership``, ``cache-miss``);
+    ``resource`` names the concrete instance blocked on (a pool, a store,
+    a NIC, an election).  ``category``/``name`` identify the *owning*
+    span — the operation whose elapsed time this wait is part of — so
+    every span decomposes into self-time plus its edges' durations.
+    """
+
+    wait_class: str
+    resource: str
+    category: str
+    name: str
+    start: float
+    end: float
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
 class Timeline:
     """Accumulates spans and computes per-category statistics."""
 
     def __init__(self) -> None:
         self.spans: List[Span] = []
+        self.waits: List[WaitEdge] = []
         #: optional live-metrics hub (:class:`repro.obs.telemetry.Telemetry`).
         #: Every instrumented layer already carries the timeline, so the
         #: engine enables continuous sampling by setting this one slot; the
@@ -52,6 +79,28 @@ class Timeline:
         span = Span(category, name, start, end, meta)
         self.spans.append(span)
         return span
+
+    def record_wait(self, wait_class: str, resource: str, category: str,
+                    name: str, start: float, end: float,
+                    **meta: Any) -> Optional[WaitEdge]:
+        """Add a wait edge owned by span ``(category, name)``.
+
+        Zero- and negative-length waits are dropped (the caller blocked
+        for no virtual time, so there is nothing to attribute).  When a
+        telemetry hub is attached, the wait also feeds the
+        ``glasswing_wait_seconds`` counter labelled by class.
+        """
+        if end - start <= 0.0:
+            return None
+        edge = WaitEdge(wait_class, resource, category, name, start, end, meta)
+        self.waits.append(edge)
+        tele = self.telemetry
+        if tele is not None:
+            tele.counter(
+                "glasswing_wait_seconds",
+                help="virtual seconds blocked, by wait class",
+                **{"class": wait_class}).inc(edge.duration)
+        return edge
 
     def by_category(self, category: str) -> List[Span]:
         """All spans whose category matches exactly."""
@@ -117,6 +166,7 @@ class Timeline:
     def merge(self, other: "Timeline") -> None:
         """Absorb another timeline's spans (e.g. per-node sub-timelines)."""
         self.spans.extend(other.spans)
+        self.waits.extend(other.waits)
 
     def breakdown(self, prefix: str = "") -> Dict[str, float]:
         """Occupied time per category, filtered by prefix; sorted dict."""
@@ -158,3 +208,22 @@ class TimelineFork(Timeline):
         span = super().record(category, name, start, end, **meta)
         self.parent.spans.append(span)
         return span
+
+    def record_wait(self, wait_class: str, resource: str, category: str,
+                    name: str, start: float, end: float,
+                    **meta: Any) -> Optional[WaitEdge]:
+        meta.setdefault("job", self.label)
+        edge = super().record_wait(wait_class, resource, category, name,
+                                   start, end, **meta)
+        if edge is not None:
+            self.parent.waits.append(edge)
+            # The fork has no hub of its own (see the class docstring), so
+            # feed the session-level wait counter through the parent.
+            tele = (self.parent.telemetry
+                    if self.telemetry is None else None)
+            if tele is not None:
+                tele.counter(
+                    "glasswing_wait_seconds",
+                    help="virtual seconds blocked, by wait class",
+                    **{"class": wait_class}).inc(edge.duration)
+        return edge

@@ -56,11 +56,20 @@ class CacheAsideBackend(StorageBackend):
     """
 
     def __init__(self, base: StorageBackend,
-                 capacity_bytes: Optional[int] = None):
+                 capacity_bytes: Optional[int] = None,
+                 sim: Optional[Any] = None,
+                 timeline: Optional[Any] = None):
         if capacity_bytes is not None and capacity_bytes < 1:
             raise ValueError("capacity_bytes must be positive (or None)")
         self.base = base
         self.capacity_bytes = capacity_bytes
+        # Optional simulation context for causal profiling: with both
+        # set, a miss on a *pinned* path records a ``cache.read`` span
+        # and a ``cache-miss`` wait edge covering the backend time the
+        # hit path would have skipped.
+        self.sim = sim
+        self.timeline = timeline
+        self._read_seq = 0
         self._pinned: Set[str] = set()
         self._entries: "OrderedDict[_Key, bytes]" = OrderedDict()
         self._cached_bytes = 0
@@ -119,17 +128,32 @@ class CacheAsideBackend(StorageBackend):
         paths) populates the cache.
         """
         key = (node_id, path, offset, length)
-        if path in self._pinned:
+        pinned = path in self._pinned
+        if pinned:
             cached = self._entries.get(key)
             if cached is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 self.hit_bytes += len(cached)
                 return cached
+        t_miss = self.sim.now if self.sim is not None else None
         data = yield from self.base.read(node_id, path, offset, length)
         self.misses += 1
         self.miss_bytes += len(data)
-        if path in self._pinned and node_id not in self._departed:
+        if (pinned and t_miss is not None and self.timeline is not None
+                and self.sim.now > t_miss):
+            # Zero-length span at completion + a cache-miss edge over the
+            # backend read: the whole elapsed time is attributable wait
+            # (a hit would have been free).
+            self._read_seq += 1
+            name = f"node{node_id}"
+            self.timeline.record("cache.read", name, self.sim.now,
+                                 self.sim.now, t_req=t_miss, path=path,
+                                 bytes=len(data), op=self._read_seq)
+            self.timeline.record_wait("cache-miss", path, "cache.read",
+                                      name, t_miss, self.sim.now,
+                                      op=self._read_seq)
+        if pinned and node_id not in self._departed:
             self._insert(key, data)
         return data
 

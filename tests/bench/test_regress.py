@@ -59,6 +59,44 @@ def test_regress_detects_injected_slowdown():
     assert result["failures"]
 
 
+def test_regress_explains_drift_with_root_causes():
+    """A drift failure carries one explain-diff per drifted point, and
+    the injected slowdown's stage is the #1 cause."""
+    slow = replace(DEFAULT_HOST_COSTS,
+                   sort_item=DEFAULT_HOST_COSTS.sort_item * 10)
+    result = run_regress(BASELINE, nodes=(4,), cases=("wordcount",),
+                         costs=slow)
+    assert not result["ok"]
+    assert len(result["explanations"]) == 1
+    entry = result["explanations"][0]
+    assert (entry["app"], entry["nodes"]) == ("wordcount", 4)
+    diff = entry["diff"]
+    assert diff["schema"] == "glasswing-causal-diff/1"
+    top = diff["causes"][0]
+    assert top["stage"] == "map.partition_cpu"
+    assert top["wait_class"] == "self"
+
+
+def test_regress_passing_points_carry_no_explanations():
+    result = run_regress(BASELINE, nodes=(1,), cases=("wordcount",))
+    assert result["ok"]
+    assert result["explanations"] == []
+
+
+def test_regress_notes_baselines_without_causal(tmp_path):
+    """Pre-causal baselines still fail cleanly, with a regenerate hint."""
+    doctored = json.loads(open(BASELINE, encoding="utf-8").read())
+    doctored["sweep"] = [p for p in doctored["sweep"]
+                         if (p["app"], p["nodes"]) == ("wordcount", 1)]
+    doctored["sweep"][0].pop("causal")
+    doctored["sweep"][0]["elapsed_s"] *= 2.0
+    path = tmp_path / "old-baseline.json"
+    path.write_text(json.dumps(doctored))
+    result = run_regress(str(path), nodes=(1,))
+    assert not result["ok"]
+    assert "regenerate" in result["explanations"][0]["note"]
+
+
 def test_regress_rejects_empty_selection():
     with pytest.raises(ValueError, match="no baseline points"):
         run_regress(BASELINE, nodes=(3,))
@@ -80,11 +118,42 @@ def test_cli_fails_on_doctored_baseline(tmp_path, capsys):
     doctored = json.loads(open(BASELINE, encoding="utf-8").read())
     for p in doctored["sweep"]:
         p["elapsed_s"] *= 2.0
+        # drift the causal profile too, so the explainer has causes
+        for stage in p["causal"]["stages"].values():
+            stage["self_s"] *= 2.0
     path = tmp_path / "doctored.json"
     path.write_text(json.dumps(doctored))
     rc = main(["--baseline", str(path), "--nodes", "1", "--skip-service"])
     assert rc == 1
-    assert "REGRESSION" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    # the gate explains itself: a root-cause table per drifted point
+    assert "root cause" in out
+    assert "wait class" in out
+
+
+def test_cli_json_out_writes_machine_readable_result(tmp_path, capsys):
+    out = tmp_path / "deep" / "nested" / "result.json"
+    rc = main(["--nodes", "1", "--case", "wordcount",
+               "--json-out", str(out),
+               "--skip-service", "--skip-dag", "--skip-elastic"])
+    assert rc == 0
+    capsys.readouterr()
+    payload = json.loads(out.read_text())
+    assert payload["ok"] is True
+    # sorted keys, trailing newline: diff- and artifact-stable
+    assert out.read_text() == json.dumps(payload, indent=2,
+                                         sort_keys=True) + "\n"
+
+
+def test_cli_json_and_json_out_agree(tmp_path, capsys):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    rc = main(["--nodes", "1", "--case", "wordcount",
+               "--json", str(a), "--json-out", str(b),
+               "--skip-service", "--skip-dag", "--skip-elastic"])
+    assert rc == 0
+    capsys.readouterr()
+    assert a.read_text() == b.read_text()
 
 
 def test_cli_missing_baseline_is_an_error(tmp_path, capsys):

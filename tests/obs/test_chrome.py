@@ -75,6 +75,76 @@ def test_meta_values_json_safe():
     assert isinstance(args["items"], str)
 
 
+def test_flow_events_link_push_to_receiving_merge():
+    tl = Timeline()
+    tl.record("map.push", "node0", 1.0, 2.0, dst="node1", delivered=True,
+              bytes=64)
+    tl.record("merge.flush", "node1", 2.5, 3.0, pid=0)
+    tl.record("merge.delay", "node1", 4.0, 5.0)
+    events = chrome_trace_events(tl)
+    flows = [e for e in events if e.get("cat") == "flow"]
+    assert len(flows) == 2
+    s = next(e for e in flows if e["ph"] == "s")
+    f = next(e for e in flows if e["ph"] == "f")
+    assert s["id"] == f["id"]
+    assert s["name"] == f["name"] == "shuffle"
+    # arrow leaves the push at its end, lands on the earliest merge span
+    # starting after the push completes
+    assert s["ts"] == 2.0 * TIME_SCALE
+    assert f["ts"] == 2.5 * TIME_SCALE
+    assert f["bp"] == "e"
+    pids = {e["args"]["name"]: e["pid"] for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"}
+    assert s["pid"] == pids["node0"]
+    assert f["pid"] == pids["node1"]
+
+
+def test_flow_events_skip_undelivered_and_mergeless_pushes():
+    tl = Timeline()
+    # undelivered: the owner crashed; recovery re-routes, no arrow
+    tl.record("map.push", "node0", 1.0, 2.0, dst="node1", delivered=False)
+    # delivered but the destination lane has no merge spans at all
+    tl.record("map.push", "node0", 2.0, 3.0, dst="node2", delivered=True)
+    events = chrome_trace_events(tl)
+    assert [e for e in events if e.get("cat") == "flow"] == []
+
+
+def test_flow_events_respect_job_lanes():
+    """Multi-job sessions: the arrow stays inside its job's lane group."""
+    parent = Timeline()
+    for job in ("jobA", "jobB"):
+        fork = parent.fork(job)
+        fork.record("map.push", "node0", 1.0, 2.0, dst="node1",
+                    delivered=True)
+        fork.record("merge.delay", "node1", 3.0, 4.0)
+    events = chrome_trace_events(parent)
+    flows = [e for e in events if e.get("cat") == "flow"]
+    assert len(flows) == 4
+    pids = {e["args"]["name"]: e["pid"] for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"}
+    for job in ("jobA", "jobB"):
+        s = [e for e in flows
+             if e["ph"] == "s" and e["pid"] == pids[f"{job}:node0"]]
+        f = [e for e in flows
+             if e["ph"] == "f" and e["pid"] == pids[f"{job}:node1"]]
+        assert len(s) == 1 and len(f) == 1
+        assert s[0]["id"] == f[0]["id"]
+
+
+def test_flow_events_on_real_run(wc_result):
+    events = chrome_trace_events(wc_result.timeline)
+    starts = [e for e in events if e.get("cat") == "flow"
+              and e["ph"] == "s"]
+    finishes = {e["id"]: e for e in events if e.get("cat") == "flow"
+                and e["ph"] == "f"}
+    assert starts
+    assert {e["id"] for e in starts} == set(finishes)
+    for s in starts:
+        assert finishes[s["id"]]["ts"] >= s["ts"]
+    trace = to_chrome_trace(wc_result.timeline)
+    json.dumps(trace)    # flow events serialise with everything else
+
+
 def test_round_trip_on_real_run(tmp_path, wc_result):
     """A real wordcount run exports a viewer-loadable trace: JSON parses,
     one process row per node, X events for all five map and reduce

@@ -1,0 +1,138 @@
+"""The run-diff explainer and the ``repro explain-diff`` CLI.
+
+The acceptance test for the whole causal stack lives here: inject a
+cost-model slowdown on one stage and the explainer must convict that
+stage as the #1 cause — not an envelope span, not a neighbouring stage.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.bench.scaling import sweep_point
+from repro.cli import main as cli_main
+from repro.core.costs import DEFAULT_HOST_COSTS
+from repro.obs import explain_diff, load_profile, render_diff
+
+
+def _profile(stages, elapsed=10.0):
+    return {"schema": "glasswing-causal/1", "elapsed_s": elapsed,
+            "self_s": 0.0, "wait_s": 0.0, "wait_classes": {},
+            "stages": stages, "aggregates": {}, "tree": {},
+            "orphan_edges": 0}
+
+
+def _stage(self_s=0.0, **waits):
+    return {"count": 1, "elapsed_s": self_s + sum(waits.values()),
+            "self_s": self_s,
+            "waits": {cls: {"seconds": s, "count": 1,
+                            "resources": {f"{cls}.r": s}}
+                      for cls, s in waits.items()},
+            "wait_s": sum(waits.values())}
+
+
+def test_load_profile_unwraps_reports(tmp_path):
+    prof = _profile({})
+    assert load_profile(prof) is prof
+    report = {"schema": "glasswing-report/1", "causal": prof}
+    assert load_profile(report) is prof
+    path = tmp_path / "report.json"
+    path.write_text(json.dumps(report))
+    assert load_profile(str(path)) == prof
+    with pytest.raises(ValueError, match="glasswing-causal/1"):
+        load_profile({"schema": "something-else"})
+
+
+def test_diff_ranks_largest_delta_first():
+    base = _profile({"map.kernel": _stage(self_s=1.0, queue=0.5),
+                     "map.output": _stage(self_s=2.0)}, elapsed=4.0)
+    new = _profile({"map.kernel": _stage(self_s=1.0, queue=3.5),
+                    "map.output": _stage(self_s=2.1)}, elapsed=7.1)
+    diff = explain_diff(base, new)
+    assert diff["schema"] == "glasswing-causal-diff/1"
+    assert diff["elapsed_delta_s"] == pytest.approx(3.1)
+    top = diff["causes"][0]
+    assert (top["stage"], top["wait_class"]) == ("map.kernel", "queue")
+    assert top["delta_s"] == pytest.approx(3.0)
+    assert top["share"] > diff["causes"][1]["share"]
+
+
+def test_diff_is_deterministic_on_ties():
+    base = _profile({"a.x": _stage(self_s=1.0), "a.y": _stage(self_s=1.0)})
+    new = _profile({"a.x": _stage(self_s=2.0), "a.y": _stage(self_s=2.0)})
+    d1, d2 = explain_diff(base, new), explain_diff(base, new)
+    assert d1 == d2
+    assert [c["stage"] for c in d1["causes"]] == ["a.x", "a.y"]
+
+
+def test_top_k_truncates_but_counts_all():
+    stages_base = {f"s.{i}": _stage(self_s=1.0) for i in range(12)}
+    stages_new = {f"s.{i}": _stage(self_s=1.0 + (i + 1) * 0.1)
+                  for i in range(12)}
+    diff = explain_diff(_profile(stages_base), _profile(stages_new),
+                        top_k=3)
+    assert len(diff["causes"]) == 3
+    assert diff["n_causes"] == 12
+    assert diff["causes"][0]["stage"] == "s.11"
+
+
+def test_identical_profiles_have_no_causes():
+    prof = _profile({"map.kernel": _stage(self_s=1.0)})
+    diff = explain_diff(prof, prof)
+    assert diff["causes"] == []
+    assert "no per-stage differences" in render_diff(diff)
+
+
+def test_render_diff_table():
+    base = _profile({"map.kernel": _stage(self_s=1.0)}, elapsed=2.0)
+    new = _profile({"map.kernel": _stage(self_s=1.5)}, elapsed=2.5)
+    text = render_diff(explain_diff(base, new))
+    assert "elapsed 2.000000s -> 2.500000s" in text
+    assert "wait class" in text
+    assert "map.kernel" in text and "self" in text
+    assert "100.0%" in text
+
+
+# -- the self-test: injected slowdown convicts the right stage -------------
+
+def test_injected_slowdown_is_ranked_first():
+    """10x sort cost -> the map-side partition sort (map.partition_cpu
+    self-time) must be the #1 cause of the elapsed delta."""
+    base = sweep_point("wordcount", 4)
+    slow = dataclasses.replace(DEFAULT_HOST_COSTS,
+                               sort_item=DEFAULT_HOST_COSTS.sort_item * 10)
+    new = sweep_point("wordcount", 4, costs=slow)
+    assert new["elapsed_s"] > base["elapsed_s"]
+    diff = explain_diff(base, new)
+    top = diff["causes"][0]
+    assert top["stage"] == "map.partition_cpu"
+    assert top["wait_class"] == "self"
+    assert top["delta_s"] > 0
+
+
+def test_explain_diff_cli(tmp_path, capsys):
+    base = sweep_point("wordcount", 1)
+    slow = dataclasses.replace(
+        DEFAULT_HOST_COSTS,
+        decode_item=DEFAULT_HOST_COSTS.decode_item * 8)
+    new = sweep_point("wordcount", 1, costs=slow)
+    base_path, new_path = tmp_path / "base.json", tmp_path / "new.json"
+    base_path.write_text(json.dumps(base))
+    new_path.write_text(json.dumps(new))
+    out_path = tmp_path / "out" / "diff.json"
+    rc = cli_main(["explain-diff", str(base_path), str(new_path),
+                   "--top", "4", "--json", str(out_path)])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "wait class" in text
+    doc = json.loads(out_path.read_text())
+    assert doc["schema"] == "glasswing-causal-diff/1"
+    assert len(doc["causes"]) <= 4
+
+
+def test_explain_diff_cli_rejects_non_profiles(tmp_path):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text("{}")
+    with pytest.raises(SystemExit, match="explain-diff"):
+        cli_main(["explain-diff", str(bogus), str(bogus)])

@@ -125,3 +125,55 @@ def test_overlap_factor_exceeds_one_with_double_buffering(wc_result):
     """Acceptance: the default buffering=2 workload genuinely pipelines."""
     rep = PipelineReport(wc_result.timeline, phase="map")
     assert rep.overlap_factor > 1.0
+
+
+# -- degraded inputs: no telemetry, no timeline ----------------------------
+
+def test_saturation_without_telemetry(wc_result):
+    """A telemetry-disabled run (no metrics_interval) analyses quietly:
+    saturation has no samples to rank, and to_dict stays serialisable."""
+    assert wc_result.telemetry is None
+    rep = PipelineReport(wc_result.timeline, phase="map")
+    assert rep.saturation() == []
+    assert rep.saturated_resource() is None
+    assert rep.interval_rates() == {}
+    d = rep.to_dict()
+    assert d["saturation"] == [] and d["saturated_resource"] is None
+    json.dumps(d)
+
+
+def test_placement_without_sched_spans():
+    """A timeline predating (or bypassing) the scheduling layer has no
+    sched.place spans -> placement() is None, not a crash."""
+    tl = synthetic_timeline()
+    rep = PipelineReport(tl, phase="map")
+    assert rep.placement() is None
+    assert rep.to_dict()["placement"] is None
+
+
+def test_placement_on_real_run(wc_result):
+    placement = PipelineReport(wc_result.timeline, phase="map").placement()
+    assert placement is not None
+    assert placement["policy"] is not None
+    assert sum(placement["by_node"].values()) > 0
+
+
+def test_to_dict_on_empty_timeline():
+    rep = PipelineReport(Timeline(), phase="map")
+    assert rep.saturation() == []
+    assert rep.placement() is None
+    d = rep.to_dict()
+    assert d["elapsed"] == 0.0
+    assert d["dominant_stage"] is None
+    assert d["overlap_factor"] == 0.0
+    json.dumps(d)
+
+
+def test_job_report_carries_causal_profile(wc_result):
+    report = wc_result.to_report()
+    causal = report["causal"]
+    assert causal["schema"] == "glasswing-causal/1"
+    assert causal["orphan_edges"] == 0
+    assert causal["elapsed_s"] == wc_result.job_time
+    assert causal["stages"]
+    json.dumps(report)

@@ -13,7 +13,7 @@ from repro.obs.telemetry import (Telemetry, ensure_parent_dir,
                                  openmetrics_text, validate_openmetrics,
                                  write_metrics, write_metrics_jsonl,
                                  write_openmetrics)
-from repro.simt import Simulator
+from repro.simt import Simulator, Timeline
 
 
 # ------------------------------------------------------------- registry
@@ -235,6 +235,89 @@ def test_validator_rejects_missing_inf_bucket():
             "# EOF\n")
     with pytest.raises(ValueError, match=r"\+Inf"):
         validate_openmetrics(text)
+
+
+def _valid_histogram(count="5", summed="0.7", les=("0.1", "1.0", "+Inf"),
+                     drop=()):
+    lines = ["# TYPE h histogram"]
+    lines += [f'h_bucket{{le="{le}"}} {n} 1.0'
+              for le, n in zip(les, ("2", "4", count))]
+    if "_count" not in drop:
+        lines.append(f"h_count {count} 1.0")
+    if "_sum" not in drop:
+        lines.append(f"h_sum {summed} 1.0")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def test_validator_accepts_wellformed_histogram():
+    assert validate_openmetrics(_valid_histogram()) == 5
+
+
+def test_validator_rejects_duplicate_bucket_bounds():
+    with pytest.raises(ValueError, match="strictly increasing"):
+        validate_openmetrics(_valid_histogram(les=("0.1", "0.1", "+Inf")))
+
+
+def test_validator_rejects_out_of_order_bucket_bounds():
+    with pytest.raises(ValueError, match="strictly increasing"):
+        validate_openmetrics(_valid_histogram(les=("1.0", "0.1", "+Inf")))
+
+
+def test_validator_requires_count_and_sum():
+    with pytest.raises(ValueError, match="without a _count"):
+        validate_openmetrics(_valid_histogram(drop=("_count",)))
+    with pytest.raises(ValueError, match="without a _sum"):
+        validate_openmetrics(_valid_histogram(drop=("_sum",)))
+
+
+def test_validator_rejects_inf_bucket_count_mismatch():
+    text = ("# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 5 1.0\n'
+            "h_count 6 1.0\n"
+            "h_sum 0.5 1.0\n"
+            "# EOF\n")
+    with pytest.raises(ValueError, match="!= _count"):
+        validate_openmetrics(text)
+
+
+def test_validator_rejects_decreasing_histogram_count_and_sum():
+    text = ("# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 5 1.0\n'
+            "h_count 5 1.0\n"
+            "h_sum 2.0 1.0\n"
+            'h_bucket{le="+Inf"} 4 2.0\n'
+            "h_count 4 2.0\n"
+            "h_sum 2.5 2.0\n"
+            "# EOF\n")
+    with pytest.raises(ValueError, match="_count decreased"):
+        validate_openmetrics(text)
+    text = ("# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 5 1.0\n'
+            "h_count 5 1.0\n"
+            "h_sum 2.0 1.0\n"
+            'h_bucket{le="+Inf"} 6 2.0\n'
+            "h_count 6 2.0\n"
+            "h_sum 1.5 2.0\n"
+            "# EOF\n")
+    with pytest.raises(ValueError, match="_sum decreased"):
+        validate_openmetrics(text)
+
+
+def test_exported_wait_counter_is_conformant():
+    """The new glasswing_wait_seconds counter rides the sampler into a
+    conformant exposition, labelled by wait class."""
+    sim = Simulator()
+    tele = Telemetry(sim, interval=0.5)
+    tl = Timeline()
+    tl.telemetry = tele
+    tl.record_wait("queue", "q", "map.kernel", "n0", 0.0, 0.25)
+    tl.record_wait("shuffle-link", "nic", "net.transfer", "0->1", 0.0, 0.5)
+    tele.sample()
+    text = openmetrics_text(tele)
+    assert validate_openmetrics(text) == 2
+    assert 'glasswing_wait_seconds_total{class="queue"} 0.25' in text
+    assert 'class="shuffle-link"' in text
 
 
 # -------------------------------------------------- end-to-end invariance
